@@ -1,0 +1,65 @@
+// Command fp8bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	fp8bench -list               list available experiment ids
+//	fp8bench -exp table2         run one experiment
+//	fp8bench -exp all            run every experiment (slow)
+//	fp8bench -models             list the 75-model zoo with metadata
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"fp8quant/internal/harness"
+	"fp8quant/internal/models"
+)
+
+func main() {
+	exp := flag.String("exp", "", "experiment id to run (or 'all')")
+	list := flag.Bool("list", false, "list experiment ids")
+	listModels := flag.Bool("models", false, "list the model zoo")
+	flag.Parse()
+
+	switch {
+	case *list:
+		for _, id := range harness.IDs() {
+			e, _ := harness.Get(id)
+			fmt.Printf("%-10s %s\n", id, e.Title)
+		}
+	case *listModels:
+		fmt.Printf("%-24s %-7s %-14s %9s %6s %6s %8s\n",
+			"name", "domain", "task", "size(MB)", "BN", "LN", "outlier")
+		for _, name := range models.Names() {
+			info, _ := models.InfoFor(name)
+			fmt.Printf("%-24s %-7s %-14s %9.1f %6v %6v %8.0f\n",
+				info.Name, info.Domain, info.Task, info.SizeMB,
+				info.HasBN, info.HasLN, info.OutlierRatio)
+		}
+	case *exp == "all":
+		for _, id := range harness.IDs() {
+			runOne(id)
+		}
+	case *exp != "":
+		if _, ok := harness.Get(*exp); !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *exp)
+			os.Exit(1)
+		}
+		runOne(*exp)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func runOne(id string) {
+	e, _ := harness.Get(id)
+	fmt.Printf("=== %s — %s ===\n", e.ID, e.Title)
+	t0 := time.Now()
+	rep := e.Run()
+	fmt.Println(rep.Text)
+	fmt.Printf("(%s finished in %.1fs)\n\n", id, time.Since(t0).Seconds())
+}

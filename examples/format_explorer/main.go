@@ -1,0 +1,54 @@
+// format_explorer: inspect the FP8 binary formats — Table 1 constants,
+// grid density across magnitudes (Appendix A.1 equations), generic
+// EeMm variants and exponent-bias shifting.
+//
+//	go run ./examples/format_explorer
+package main
+
+import (
+	"fmt"
+
+	"fp8quant/internal/fp8"
+)
+
+func main() {
+	fmt.Println("Table 1 — FP8 binary formats:")
+	fmt.Printf("%-10s %6s %12s %14s %8s %6s\n",
+		"format", "bias", "max", "min subnorm", "NaNs", "Inf")
+	for _, f := range fp8.Formats {
+		nans := "single"
+		if f.IEEE {
+			nans = "all"
+		}
+		fmt.Printf("%-10s %6d %12.1f %14.2e %8s %6v\n",
+			f.Name, f.Bias, f.MaxValue(), f.MinSubnormal(), nans, f.HasInf())
+	}
+
+	fmt.Println("\nGrid density D = 2^(m - floor(log2 N)) per unit interval:")
+	fmt.Printf("%-10s", "N")
+	for _, f := range fp8.Formats {
+		fmt.Printf(" %10s", f.Name)
+	}
+	fmt.Println()
+	for _, n := range []float64{0.25, 0.5, 1, 2, 4, 8, 16} {
+		fmt.Printf("%-10.2f", n)
+		for _, f := range fp8.Formats {
+			fmt.Printf(" %10.1f", f.Density(n))
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\nGeneric formats (related work: Kuzmin et al. 2022):")
+	for _, spec := range []struct{ e, m uint }{{2, 5}, {3, 4}, {4, 3}, {5, 2}} {
+		f, err := fp8.New(spec.e, spec.m, false)
+		if err != nil {
+			continue
+		}
+		fmt.Printf("  %-6s max=%8.1f  grid points=%d\n",
+			f.Name, f.MaxValue(), len(f.GridPoints()))
+	}
+
+	shifted := fp8.E4M3.WithBias(3)
+	fmt.Printf("\nExponent-bias shifting (Sun et al. 2019): %s max=%.0f (16x the E4M3 range)\n",
+		shifted.Name, shifted.MaxValue())
+}

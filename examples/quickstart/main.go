@@ -1,0 +1,55 @@
+// Quickstart: quantize a model from the zoo to FP8 and measure the
+// accuracy retained against the FP32 reference.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fp8quant/internal/evalx"
+	"fp8quant/internal/models"
+	"fp8quant/internal/quant"
+)
+
+func main() {
+	// 1. Build a model (ResNet-50 analogue from the 75-model zoo).
+	net, err := models.Build("resnet50")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("model: %s (%s, %s, %.0f MB)\n",
+		net.Meta.Name, net.Meta.Domain, net.Meta.Task, net.Meta.SizeMB)
+
+	// 2. Pick a recipe. StandardFP8 is the paper's standard scheme:
+	//    per-channel weight scaling, per-tensor activation max scaling,
+	//    static quantization, first/last conv kept in FP32.
+	recipe := quant.StandardFP8(quant.E4M3)
+
+	// 3. Quantize: calibrates on the model's dataset, rounds weights,
+	//    installs activation fake-quant hooks.
+	handle := quant.Quantize(net, net.Data, recipe)
+	fmt.Printf("quantized ops: %v\n", handle.Report.QuantizedOps)
+	fmt.Printf("kept in FP32:  first=%s last=%s\n",
+		handle.Report.FirstOp, handle.Report.LastOp)
+
+	// 4. Evaluate agreement with the FP32 reference, then restore.
+	handle.Release()
+	res := evalx.Evaluate(net, recipe, true)
+	fmt.Printf("accuracy vs FP32: %.4f (relative loss %.2f%%, pass=%v)\n",
+		res.QAcc, res.RelLoss*100, res.Pass)
+
+	// 5. Compare all formats in one call.
+	fmt.Println("\nformat comparison:")
+	for _, r := range []quant.Recipe{
+		quant.StandardFP8(quant.E5M2),
+		quant.StandardFP8(quant.E4M3),
+		quant.StandardFP8(quant.E3M4),
+		quant.StandardINT8(false),
+	} {
+		res := evalx.Evaluate(net, r, true)
+		fmt.Printf("  %-12s acc=%.4f loss=%5.2f%% pass=%v\n",
+			r.Name(), res.QAcc, res.RelLoss*100, res.Pass)
+	}
+}

@@ -1,0 +1,267 @@
+package data
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"fp8quant/internal/tensor"
+)
+
+func TestImageDatasetDeterministic(t *testing.T) {
+	d := &ImageDataset{N: 2, C: 3, H: 8, W: 8, NumBatches: 3, Seed: 1}
+	a := d.Batch(1)
+	b := d.Batch(1)
+	for i := range a.X.Data {
+		if a.X.Data[i] != b.X.Data[i] {
+			t.Fatal("Batch(i) must be deterministic")
+		}
+	}
+	c := d.Batch(2)
+	same := true
+	for i := range a.X.Data {
+		if a.X.Data[i] != c.X.Data[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different batch indices must differ")
+	}
+	if a.BatchSize() != 2 {
+		t.Errorf("BatchSize = %d", a.BatchSize())
+	}
+}
+
+func TestImageDatasetSpatialStructure(t *testing.T) {
+	// Neighbouring pixels must be correlated (blobs/gradients), unlike
+	// white noise: check lag-1 autocorrelation is clearly positive.
+	d := &ImageDataset{N: 4, C: 1, H: 16, W: 16, NumBatches: 1, Seed: 7}
+	x := d.Batch(0).X
+	var num, den float64
+	mu := x.Mean()
+	for n := 0; n < 4; n++ {
+		for y := 0; y < 16; y++ {
+			for xx := 0; xx+1 < 16; xx++ {
+				a := float64(x.At(n, 0, y, xx)) - mu
+				b := float64(x.At(n, 0, y, xx+1)) - mu
+				num += a * b
+				den += a * a
+			}
+		}
+	}
+	if num/den < 0.3 {
+		t.Errorf("lag-1 autocorrelation = %v, want > 0.3", num/den)
+	}
+}
+
+func TestTokenDatasetRange(t *testing.T) {
+	d := &TokenDataset{N: 4, T: 16, Vocab: 50, NumBatches: 2, Seed: 3}
+	s := d.Batch(0)
+	if len(s.Tokens) != 4 || len(s.Tokens[0]) != 16 {
+		t.Fatalf("token shape %dx%d", len(s.Tokens), len(s.Tokens[0]))
+	}
+	for _, seq := range s.Tokens {
+		for _, id := range seq {
+			if id < 0 || id >= 50 {
+				t.Fatalf("token %d out of range", id)
+			}
+		}
+	}
+}
+
+func TestTokenZipfSkew(t *testing.T) {
+	// Low ids must be much more frequent than high ids.
+	d := &TokenDataset{N: 32, T: 32, Vocab: 100, NumBatches: 1, Seed: 9}
+	counts := make([]int, 100)
+	for _, seq := range d.Batch(0).Tokens {
+		for _, id := range seq {
+			counts[id]++
+		}
+	}
+	lo, hi := 0, 0
+	for i := 0; i < 10; i++ {
+		lo += counts[i]
+	}
+	for i := 90; i < 100; i++ {
+		hi += counts[i]
+	}
+	if lo <= hi*2 {
+		t.Errorf("zipf skew too weak: first-decile=%d last-decile=%d", lo, hi)
+	}
+}
+
+func TestTabularDataset(t *testing.T) {
+	d := &TabularDataset{N: 8, DenseDim: 13, Vocab: 100, BagSize: 3, NumBatches: 1, Seed: 2}
+	s := d.Batch(0)
+	if s.X.Shape[1] != 13 || len(s.Bags) != 8 || len(s.Bags[0]) != 3 {
+		t.Fatalf("tabular shapes wrong")
+	}
+	if s.BatchSize() != 8 {
+		t.Errorf("BatchSize = %d", s.BatchSize())
+	}
+}
+
+func TestAudioDatasetBounded(t *testing.T) {
+	d := &AudioDataset{N: 2, T: 64, NumBatches: 1, Seed: 4}
+	x := d.Batch(0).X
+	if x.Shape[0] != 2 || x.Shape[2] != 64 {
+		t.Fatalf("audio shape %v", x.Shape)
+	}
+	if x.AbsMax() > 10 {
+		t.Errorf("audio absmax %v too large", x.AbsMax())
+	}
+	// Must have signal, not all zeros.
+	if x.Std() < 0.1 {
+		t.Errorf("audio std %v too small", x.Std())
+	}
+}
+
+func TestAugmentTrainingChangesData(t *testing.T) {
+	d := &ImageDataset{N: 2, C: 1, H: 8, W: 8, NumBatches: 1, Seed: 5}
+	x := d.Batch(0).X
+	y := AugmentTraining(x, tensor.NewRNG(11))
+	if x.Len() != y.Len() {
+		t.Fatal("augment must preserve shape")
+	}
+	diff := 0
+	for i := range x.Data {
+		if x.Data[i] != y.Data[i] {
+			diff++
+		}
+	}
+	if diff < x.Len()/4 {
+		t.Errorf("training augment changed only %d/%d values", diff, x.Len())
+	}
+}
+
+func TestAugmentInferenceDeterministic(t *testing.T) {
+	d := &ImageDataset{N: 2, C: 1, H: 8, W: 8, NumBatches: 1, Seed: 5}
+	x := d.Batch(0).X
+	y1 := AugmentInference(x, tensor.NewRNG(1))
+	y2 := AugmentInference(x, tensor.NewRNG(999))
+	for i := range y1.Data {
+		if y1.Data[i] != y2.Data[i] {
+			t.Fatal("inference transform must ignore RNG")
+		}
+	}
+	// Per-image mean ~0 after the transform.
+	per := y1.Len() / 2
+	for n := 0; n < 2; n++ {
+		var mu float64
+		for _, v := range y1.Data[n*per : (n+1)*per] {
+			mu += float64(v)
+		}
+		if math.Abs(mu/float64(per)) > 1e-5 {
+			t.Errorf("image %d mean = %v after inference transform", n, mu/float64(per))
+		}
+	}
+}
+
+func TestArgmaxAndAccuracy(t *testing.T) {
+	if Argmax([]float32{0.1, 0.9, 0.5}) != 1 {
+		t.Error("argmax wrong")
+	}
+	tl := tensor.FromSlice([]float32{1, 2, 3, 9, 5, 6}, 2, 3)
+	am := ArgmaxRows(tl)
+	if am[0] != 2 || am[1] != 0 {
+		t.Errorf("argmax rows = %v", am)
+	}
+	if got := Accuracy([]int{1, 2, 3}, []int{1, 0, 3}); math.Abs(got-2.0/3) > 1e-9 {
+		t.Errorf("accuracy = %v", got)
+	}
+}
+
+func TestTopKAccuracy(t *testing.T) {
+	logits := tensor.FromSlice([]float32{5, 4, 3, 2}, 1, 4)
+	if got := TopKAccuracy(logits, []int{2}, 1); got != 0 {
+		t.Errorf("top1 = %v", got)
+	}
+	if got := TopKAccuracy(logits, []int{2}, 3); got != 1 {
+		t.Errorf("top3 = %v", got)
+	}
+}
+
+func TestF1AndMCC(t *testing.T) {
+	pred := []int{1, 1, 0, 0, 1}
+	lab := []int{1, 0, 0, 1, 1}
+	// tp=2 fp=1 fn=1 -> F1 = 4/6.
+	if got := F1Binary(pred, lab); math.Abs(got-2.0/3) > 1e-9 {
+		t.Errorf("f1 = %v", got)
+	}
+	if got := MatthewsCorr(pred, pred); math.Abs(got-1) > 1e-9 {
+		t.Errorf("mcc self = %v", got)
+	}
+	inv := []int{0, 0, 1, 1, 0}
+	if got := MatthewsCorr(pred, inv); math.Abs(got+1) > 1e-9 {
+		t.Errorf("mcc inverse = %v", got)
+	}
+}
+
+func TestPearson(t *testing.T) {
+	a := []float64{1, 2, 3, 4}
+	if got := Pearson(a, a); math.Abs(got-1) > 1e-9 {
+		t.Errorf("pearson self = %v", got)
+	}
+	b := []float64{4, 3, 2, 1}
+	if got := Pearson(a, b); math.Abs(got+1) > 1e-9 {
+		t.Errorf("pearson anti = %v", got)
+	}
+}
+
+func TestFIDProperties(t *testing.T) {
+	r := tensor.NewRNG(13)
+	f1 := tensor.New(200, 8)
+	f1.FillNormal(r, 0, 1)
+	s1 := ComputeFIDStats(f1)
+	if got := FID(s1, s1); got != 0 {
+		t.Errorf("FID(X,X) = %v, want 0", got)
+	}
+	f2 := tensor.New(200, 8)
+	f2.FillNormal(r, 1, 1) // shifted mean
+	s2 := ComputeFIDStats(f2)
+	d12 := FID(s1, s2)
+	if d12 <= 0 {
+		t.Errorf("FID of shifted distributions = %v, want > 0", d12)
+	}
+	// Symmetric.
+	if math.Abs(d12-FID(s2, s1)) > 1e-9 {
+		t.Error("FID must be symmetric")
+	}
+	// Bigger shift -> bigger FID.
+	f3 := tensor.New(200, 8)
+	f3.FillNormal(r, 3, 1)
+	if FID(s1, ComputeFIDStats(f3)) <= d12 {
+		t.Error("FID must grow with distribution shift")
+	}
+}
+
+// Property: FID is non-negative for arbitrary stats.
+func TestFIDNonNegative(t *testing.T) {
+	prop := func(m1, m2, v1, v2 float64) bool {
+		if math.IsNaN(m1) || math.IsNaN(m2) || math.IsNaN(v1) || math.IsNaN(v2) {
+			return true
+		}
+		a := FIDStats{Mean: []float64{m1}, Var: []float64{math.Abs(v1)}}
+		b := FIDStats{Mean: []float64{m2}, Var: []float64{math.Abs(v2)}}
+		return FID(a, b) >= 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRelativeLossAndPass(t *testing.T) {
+	if got := RelativeLoss(0.8, 0.792); math.Abs(got-0.01) > 1e-9 {
+		t.Errorf("relative loss = %v", got)
+	}
+	if !Passes(0.8, 0.792) {
+		t.Error("exactly 1% loss should pass")
+	}
+	if Passes(0.8, 0.79) {
+		t.Error("1.25% loss should fail")
+	}
+	if !Passes(0.8, 0.85) {
+		t.Error("accuracy gain should pass")
+	}
+}

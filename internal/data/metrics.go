@@ -1,0 +1,202 @@
+package data
+
+import (
+	"math"
+
+	"fp8quant/internal/tensor"
+)
+
+// Argmax returns the index of the largest value in v.
+func Argmax(v []float32) int {
+	best := 0
+	for i, x := range v {
+		if x > v[best] {
+			best = i
+		}
+	}
+	_ = v[best]
+	return best
+}
+
+// ArgmaxRows returns the per-row argmax of a [rows, cols] tensor.
+func ArgmaxRows(t *tensor.Tensor) []int {
+	cols := t.Shape[t.Rank()-1]
+	rows := t.Len() / cols
+	out := make([]int, rows)
+	for r := 0; r < rows; r++ {
+		out[r] = Argmax(t.Data[r*cols : (r+1)*cols])
+	}
+	return out
+}
+
+// Accuracy returns the fraction of matching predictions.
+func Accuracy(pred, label []int) float64 {
+	if len(pred) == 0 {
+		return 0
+	}
+	hit := 0
+	for i := range pred {
+		if pred[i] == label[i] {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(pred))
+}
+
+// TopKAccuracy returns the fraction of rows whose label appears in the
+// k largest logits.
+func TopKAccuracy(logits *tensor.Tensor, label []int, k int) float64 {
+	cols := logits.Shape[logits.Rank()-1]
+	rows := logits.Len() / cols
+	hit := 0
+	for r := 0; r < rows; r++ {
+		row := logits.Data[r*cols : (r+1)*cols]
+		lv := row[label[r]]
+		greater := 0
+		for _, v := range row {
+			if v > lv {
+				greater++
+			}
+		}
+		if greater < k {
+			hit++
+		}
+	}
+	return float64(hit) / float64(rows)
+}
+
+// F1Binary returns the binary F1 score treating class 1 as positive.
+func F1Binary(pred, label []int) float64 {
+	var tp, fp, fn float64
+	for i := range pred {
+		switch {
+		case pred[i] == 1 && label[i] == 1:
+			tp++
+		case pred[i] == 1 && label[i] == 0:
+			fp++
+		case pred[i] == 0 && label[i] == 1:
+			fn++
+		}
+	}
+	if 2*tp+fp+fn == 0 {
+		return 0
+	}
+	return 2 * tp / (2*tp + fp + fn)
+}
+
+// MatthewsCorr returns the Matthews correlation coefficient (the CoLA
+// metric).
+func MatthewsCorr(pred, label []int) float64 {
+	var tp, tn, fp, fn float64
+	for i := range pred {
+		switch {
+		case pred[i] == 1 && label[i] == 1:
+			tp++
+		case pred[i] == 0 && label[i] == 0:
+			tn++
+		case pred[i] == 1 && label[i] == 0:
+			fp++
+		default:
+			fn++
+		}
+	}
+	den := math.Sqrt((tp + fp) * (tp + fn) * (tn + fp) * (tn + fn))
+	if den == 0 {
+		return 0
+	}
+	return (tp*tn - fp*fn) / den
+}
+
+// Pearson returns the Pearson correlation between two score vectors
+// (the STS-B metric).
+func Pearson(a, b []float64) float64 {
+	if len(a) != len(b) || len(a) == 0 {
+		return 0
+	}
+	n := float64(len(a))
+	var sa, sb float64
+	for i := range a {
+		sa += a[i]
+		sb += b[i]
+	}
+	ma, mb := sa/n, sb/n
+	var cov, va, vb float64
+	for i := range a {
+		da, db := a[i]-ma, b[i]-mb
+		cov += da * db
+		va += da * da
+		vb += db * db
+	}
+	if va == 0 || vb == 0 {
+		return 0
+	}
+	return cov / math.Sqrt(va*vb)
+}
+
+// FIDStats holds the Gaussian statistics of a feature set under the
+// diagonal-covariance approximation: with diagonal covariances the
+// matrix square root in the Fréchet distance factorizes exactly, giving
+//
+//	FID = ||μ1-μ2||² + Σ_d (√v1_d - √v2_d)²
+//
+// This is the exact Fréchet distance between axis-aligned Gaussians and
+// preserves the ordering behaviour of full FID for quantization noise.
+type FIDStats struct {
+	Mean, Var []float64
+	N         int
+}
+
+// ComputeFIDStats reduces a [n, d] feature tensor to its statistics.
+func ComputeFIDStats(features *tensor.Tensor) FIDStats {
+	d := features.Shape[features.Rank()-1]
+	n := features.Len() / d
+	st := FIDStats{Mean: make([]float64, d), Var: make([]float64, d), N: n}
+	for r := 0; r < n; r++ {
+		row := features.Data[r*d : (r+1)*d]
+		for j, v := range row {
+			st.Mean[j] += float64(v)
+		}
+	}
+	for j := range st.Mean {
+		st.Mean[j] /= float64(n)
+	}
+	for r := 0; r < n; r++ {
+		row := features.Data[r*d : (r+1)*d]
+		for j, v := range row {
+			dv := float64(v) - st.Mean[j]
+			st.Var[j] += dv * dv
+		}
+	}
+	for j := range st.Var {
+		st.Var[j] /= float64(n)
+	}
+	return st
+}
+
+// FID returns the Fréchet distance between two feature distributions
+// (diagonal-Gaussian form). Lower is better; FID(X, X) == 0.
+func FID(a, b FIDStats) float64 {
+	d := 0.0
+	for j := range a.Mean {
+		dm := a.Mean[j] - b.Mean[j]
+		ds := math.Sqrt(a.Var[j]) - math.Sqrt(b.Var[j])
+		d += dm*dm + ds*ds
+	}
+	return d
+}
+
+// RelativeLoss returns the relative accuracy degradation of quantized
+// vs baseline: (base - q) / base. The paper's pass criterion is
+// RelativeLoss <= 1%.
+func RelativeLoss(base, quantized float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return (base - quantized) / base
+}
+
+// Passes reports whether a quantized accuracy meets the paper's 1%
+// relative-loss criterion against the FP32 baseline.
+func Passes(base, quantized float64) bool {
+	return RelativeLoss(base, quantized) <= 0.01+1e-12
+}

@@ -1,0 +1,156 @@
+package evalx
+
+import (
+	"math"
+	"testing"
+
+	"fp8quant/internal/models"
+	"fp8quant/internal/quant"
+)
+
+func TestComputeReferenceShapes(t *testing.T) {
+	net, err := models.Build("distilbert_mrpc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := ComputeReference(net)
+	wantSamples := (EvalEnd - EvalStart) * 16 // nlp batch size
+	if len(ref.Labels) != wantSamples {
+		t.Fatalf("labels = %d, want %d", len(ref.Labels), wantSamples)
+	}
+	if len(ref.Keep) != wantSamples {
+		t.Fatalf("keep mask = %d, want %d", len(ref.Keep), wantSamples)
+	}
+	kept := 0
+	for _, k := range ref.Keep {
+		if k {
+			kept++
+		}
+	}
+	frac := float64(kept) / float64(wantSamples)
+	want := 1 - MarginKeepPct/100
+	if math.Abs(frac-want) > 0.1 {
+		t.Errorf("kept fraction %.2f, want ~%.2f", frac, want)
+	}
+}
+
+func TestFP32SelfAgreementIsPerfect(t *testing.T) {
+	net, _ := models.Build("distilbert_mrpc")
+	ref := ComputeReference(net)
+	if acc := AccuracyAgainst(net, ref); acc != 1 {
+		t.Fatalf("FP32 self-agreement = %v, want 1", acc)
+	}
+}
+
+func TestEvaluateRestoresModel(t *testing.T) {
+	net, _ := models.Build("distilbert_mrpc")
+	before := net.Run(net.Data.Batch(0)).Clone()
+	Evaluate(net, quant.StandardFP8(quant.E4M3), true)
+	after := net.Run(net.Data.Batch(0))
+	for i := range after.Data {
+		if after.Data[i] != before.Data[i] {
+			t.Fatal("Evaluate must restore the model")
+		}
+	}
+}
+
+func TestEvaluateRecipesSharesReference(t *testing.T) {
+	net, _ := models.Build("distilbert_mrpc")
+	rs := []quant.Recipe{
+		quant.StandardFP8(quant.E4M3),
+		quant.StandardFP8(quant.E3M4),
+	}
+	res := EvaluateRecipes(net, rs, true)
+	if len(res) != 2 {
+		t.Fatalf("results = %d", len(res))
+	}
+	for _, r := range res {
+		if r.QAcc <= 0 || r.QAcc > 1 {
+			t.Errorf("%s acc out of range: %v", r.Recipe, r.QAcc)
+		}
+		if r.Model != "distilbert_mrpc" {
+			t.Errorf("model name %q", r.Model)
+		}
+	}
+}
+
+func TestPaperRecipeSpecialization(t *testing.T) {
+	nlp, _ := models.Build("distilbert_mrpc")
+	r := PaperRecipe(quant.StandardFP8(quant.E4M3), nlp)
+	if !r.SmoothQuant {
+		t.Error("NLP static recipe must enable SmoothQuant")
+	}
+	rd := PaperRecipe(quant.DynamicFP8(quant.E4M3), nlp)
+	if rd.SmoothQuant {
+		t.Error("dynamic recipe must not enable SmoothQuant")
+	}
+	cv, _ := models.Build("cifar_resnet20")
+	rc := PaperRecipe(quant.StandardFP8(quant.E3M4), cv)
+	if !rc.BNCalib {
+		t.Error("BN CV recipe must enable BN calibration")
+	}
+	if rc.SmoothQuant {
+		t.Error("CV recipe must not enable SmoothQuant")
+	}
+}
+
+func TestAggregatePassRates(t *testing.T) {
+	results := []Result{
+		{Domain: models.CV, Pass: true},
+		{Domain: models.CV, Pass: false},
+		{Domain: models.NLP, Pass: true},
+		{Domain: models.Audio, Pass: true},
+		{Domain: models.RecSys, Pass: false},
+	}
+	pr := AggregatePassRates(results)
+	if pr.CV != 50 {
+		t.Errorf("CV = %v", pr.CV)
+	}
+	if math.Abs(pr.NLP-200.0/3) > 1e-9 {
+		t.Errorf("NLP = %v", pr.NLP)
+	}
+	if pr.All != 60 {
+		t.Errorf("All = %v", pr.All)
+	}
+}
+
+func TestComputeLossStats(t *testing.T) {
+	s := ComputeLossStats([]float64{1, 2, 3, 4})
+	if s.Mean != 2.5 || s.Min != 1 || s.Max != 4 || s.N != 4 {
+		t.Errorf("stats = %+v", s)
+	}
+	if math.Abs(s.Median-2.5) > 1e-6 {
+		t.Errorf("median = %v", s.Median)
+	}
+	if z := ComputeLossStats(nil); z.N != 0 {
+		t.Errorf("empty stats = %+v", z)
+	}
+}
+
+func TestEvaluateNamesParallel(t *testing.T) {
+	names := []string{"distilbert_mrpc", "tinybert_mrpc", "cifar_resnet20"}
+	res := EvaluateNames(names, quant.StandardFP8(quant.E3M4), true)
+	if len(res) != 3 {
+		t.Fatalf("results = %d", len(res))
+	}
+	for i, r := range res {
+		if r.Model != names[i] {
+			t.Errorf("order not preserved: %v", r.Model)
+		}
+	}
+}
+
+// TestFormatOrderingOnOutlierNLP is the core Table 2 shape invariant on
+// one representative outlier-heavy NLP model: FP8 static beats the
+// unsmoothed dynamic INT8 baseline.
+func TestFormatOrderingOnOutlierNLP(t *testing.T) {
+	net, _ := models.Build("bloom_560m")
+	res := EvaluateRecipes(net, []quant.Recipe{
+		quant.StandardFP8(quant.E4M3),
+		quant.StandardINT8(true),
+	}, true)
+	if res[0].QAcc <= res[1].QAcc {
+		t.Errorf("E4M3 static (%.4f) should beat dynamic INT8 (%.4f) on outlier NLP",
+			res[0].QAcc, res[1].QAcc)
+	}
+}

@@ -1,0 +1,40 @@
+package fp8
+
+import "math"
+
+// Density returns the density of representable values of the format
+// around magnitude n, following Appendix A.1 of the paper:
+//
+//	D_EeMm(N) = 2^(m - floor(log2 N))
+//
+// i.e. the number of representable grid points per unit interval in the
+// binade containing N. Smaller magnitudes are represented more densely;
+// each additional mantissa bit doubles the density.
+func (f Format) Density(n float64) float64 {
+	if n <= 0 || math.IsNaN(n) || math.IsInf(n, 0) {
+		return math.Inf(1)
+	}
+	return math.Ldexp(1, int(f.ManBits)-int(math.Floor(math.Log2(n))))
+}
+
+// StepAt returns the grid spacing (quantization step) of the format at
+// magnitude n: the reciprocal of Density in the normal range, clamped
+// to the subnormal step below MinNormal.
+func (f Format) StepAt(n float64) float64 {
+	n = math.Abs(n)
+	if n < f.MinNormal() {
+		return f.MinSubnormal()
+	}
+	if n > f.MaxValue() {
+		n = f.MaxValue()
+	}
+	return 1 / f.Density(n)
+}
+
+// Int8Step returns the uniform step size of a symmetric INT8 grid with
+// the given calibrated absmax (absmax/127), for contrast with the
+// magnitude-dependent FP8 step. Outliers stretch this step linearly,
+// which is the core INT8 weakness the paper discusses in Section 2.
+func Int8Step(absmax float64) float64 {
+	return NewInt8Symmetric(absmax).Scale
+}

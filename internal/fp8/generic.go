@@ -1,0 +1,36 @@
+package fp8
+
+import "fmt"
+
+// New constructs an arbitrary EeMm 8-bit floating-point format with the
+// conventional bias 2^(e-1)-1. The paper's three formats are E5M2 (IEEE
+// encoding) and E4M3/E3M4 (extended encoding); related work (Kuzmin et
+// al. 2022; Noune et al. 2022) studies the wider family including E2M5
+// and variable-bias variants, which this constructor covers for
+// ablation studies.
+func New(expBits, manBits uint, ieee bool) (Format, error) {
+	if expBits+manBits != 7 {
+		return Format{}, fmt.Errorf("fp8: exponent %d + mantissa %d bits must equal 7", expBits, manBits)
+	}
+	if expBits < 2 {
+		return Format{}, fmt.Errorf("fp8: need at least 2 exponent bits, got %d", expBits)
+	}
+	return Format{
+		Name:    fmt.Sprintf("E%dM%d", expBits, manBits),
+		ExpBits: expBits,
+		ManBits: manBits,
+		Bias:    (1 << (expBits - 1)) - 1,
+		IEEE:    ieee,
+	}, nil
+}
+
+// WithBias returns a copy of the format with a shifted exponent bias —
+// the "exponent bias shifting" trick of Sun et al. (2019) for moving an
+// FP8 format's numeric range toward activations' actual range without a
+// multiplier.
+func (f Format) WithBias(bias int) Format {
+	g := f
+	g.Bias = bias
+	g.Name = fmt.Sprintf("%s(b=%d)", f.Name, bias)
+	return g
+}

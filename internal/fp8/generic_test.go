@@ -1,0 +1,72 @@
+package fp8
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewMatchesPaperFormats(t *testing.T) {
+	e4m3, err := New(4, 3, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e4m3.Bias != E4M3.Bias || e4m3.MaxValue() != E4M3.MaxValue() {
+		t.Errorf("New(4,3) = %+v differs from E4M3", e4m3)
+	}
+	e5m2, _ := New(5, 2, true)
+	if e5m2.MaxValue() != E5M2.MaxValue() {
+		t.Errorf("New(5,2) max %v != %v", e5m2.MaxValue(), E5M2.MaxValue())
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(4, 4, false); err == nil {
+		t.Error("8-bit payload should be rejected")
+	}
+	if _, err := New(1, 6, false); err == nil {
+		t.Error("1 exponent bit should be rejected")
+	}
+}
+
+func TestE2M5RoundTrip(t *testing.T) {
+	e2m5, err := New(2, 5, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All finite code points round-trip.
+	for b := 0; b < 256; b++ {
+		c := uint8(b)
+		v := e2m5.Decode(c)
+		if math.IsNaN(v) {
+			continue
+		}
+		got := e2m5.Encode(v)
+		if got != c && !(v == 0 && got&0x7F == 0) {
+			t.Fatalf("E2M5 code %#02x (%v) re-encoded to %#02x", c, v, got)
+		}
+	}
+	// More mantissa bits than E3M4 -> denser grid at unit scale.
+	if !(e2m5.Density(1) > E3M4.Density(1)) {
+		t.Error("E2M5 should be denser than E3M4 near 1")
+	}
+	// But far smaller dynamic range.
+	if !(e2m5.MaxValue() < E3M4.MaxValue()) {
+		t.Errorf("E2M5 max %v should be below E3M4 max %v", e2m5.MaxValue(), E3M4.MaxValue())
+	}
+}
+
+func TestWithBiasShiftsRange(t *testing.T) {
+	shifted := E4M3.WithBias(3) // bias 7 -> 3 shifts range up by 2^4
+	ratio := shifted.MaxValue() / E4M3.MaxValue()
+	if math.Abs(ratio-16) > 1e-9 {
+		t.Errorf("bias shift ratio = %v, want 16", ratio)
+	}
+	// Quantization still round-trips on the shifted grid.
+	v := shifted.Quantize(1000)
+	if shifted.Quantize(v) != v {
+		t.Error("shifted format not idempotent")
+	}
+	if shifted.Name == E4M3.Name {
+		t.Error("shifted format should carry a distinct name")
+	}
+}

@@ -1,0 +1,101 @@
+package fp8
+
+import (
+	"math"
+	"sort"
+	"sync"
+
+	"fp8quant/internal/tensor"
+)
+
+// gridCache memoizes each format's non-negative grid for neighbour
+// lookups.
+var gridCache sync.Map // Format -> []float64
+
+func (f Format) grid() []float64 {
+	if v, ok := gridCache.Load(f); ok {
+		return v.([]float64)
+	}
+	g := f.GridPoints()
+	gridCache.Store(f, g)
+	return g
+}
+
+// EncodeStochastic converts x to an 8-bit code with stochastic rounding:
+// the value rounds up with probability proportional to its position
+// between the two neighbouring grid points, making the rounding error
+// zero-mean. Stochastic rounding is the rounding mode used by FP8
+// *training* work (Wang et al. 2018; Mellempudi et al. 2019); the
+// paper's inference pipeline uses round-to-nearest-even (Encode), and
+// this variant exists for the training-oriented extension studies.
+func (f Format) EncodeStochastic(x float64, r *tensor.RNG) uint8 {
+	if math.IsNaN(x) || math.IsInf(x, 0) || x == 0 {
+		return f.Encode(x)
+	}
+	var sign uint8
+	ax := x
+	if math.Signbit(x) {
+		sign = 0x80
+		ax = -x
+	}
+	if ax >= f.MaxValue() {
+		return f.Encode(x)
+	}
+	// Find the two neighbouring grid points via floor-rounding.
+	lo := f.floorQuantize(ax)
+	hi := f.nextUp(lo)
+	if lo == ax {
+		return sign | f.Encode(ax)&0x7F
+	}
+	p := (ax - lo) / (hi - lo)
+	v := lo
+	if r.Float64() < p {
+		v = hi
+	}
+	code := f.Encode(v)
+	return sign | code&0x7F
+}
+
+// QuantizeStochastic rounds x to the grid with stochastic rounding.
+func (f Format) QuantizeStochastic(x float64, r *tensor.RNG) float64 {
+	return f.Decode(f.EncodeStochastic(x, r))
+}
+
+// floorQuantize returns the largest representable value <= ax (ax > 0,
+// within range).
+func (f Format) floorQuantize(ax float64) float64 {
+	g := f.grid()
+	// First index with g[i] > ax; the floor is the previous point.
+	i := sort.SearchFloat64s(g, ax)
+	if i < len(g) && g[i] == ax {
+		return ax
+	}
+	if i == 0 {
+		return 0
+	}
+	return g[i-1]
+}
+
+// nextUp returns the next representable value above v (v >= 0, below
+// max).
+func (f Format) nextUp(v float64) float64 {
+	g := f.grid()
+	i := sort.SearchFloat64s(g, v)
+	if i < len(g) && g[i] == v {
+		i++
+	}
+	if i >= len(g) {
+		return g[len(g)-1]
+	}
+	return g[i]
+}
+
+// prevDown returns the next representable value below v (v > 0).
+func (f Format) prevDown(v float64) float64 {
+	g := f.grid()
+	i := sort.SearchFloat64s(g, v)
+	if i == 0 {
+		return 0
+	}
+	return g[i-1]
+}

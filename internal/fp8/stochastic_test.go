@@ -1,0 +1,83 @@
+package fp8
+
+import (
+	"math"
+	"testing"
+
+	"fp8quant/internal/tensor"
+)
+
+func TestStochasticRoundsToNeighbours(t *testing.T) {
+	r := tensor.NewRNG(1)
+	for _, f := range Formats {
+		for _, x := range []float64{0.3, 1.7, -2.4, 0.013, 14.2} {
+			if math.Abs(x) >= f.MaxValue() {
+				continue
+			}
+			lo := f.floorQuantize(math.Abs(x))
+			hi := f.nextUp(lo)
+			for i := 0; i < 50; i++ {
+				q := f.QuantizeStochastic(x, r)
+				aq := math.Abs(q)
+				if aq != lo && aq != hi {
+					t.Fatalf("%s: stochastic %v -> %v, want %v or %v", f, x, q, lo, hi)
+				}
+				if math.Signbit(q) != math.Signbit(x) && q != 0 {
+					t.Fatalf("%s: sign flipped: %v -> %v", f, x, q)
+				}
+			}
+		}
+	}
+}
+
+// TestStochasticUnbiased verifies the defining property: the expected
+// value of stochastic rounding equals the input.
+func TestStochasticUnbiased(t *testing.T) {
+	r := tensor.NewRNG(2)
+	f := E4M3
+	x := 1.3 // strictly between grid points 1.25 and 1.375
+	const n = 20000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += f.QuantizeStochastic(x, r)
+	}
+	mean := sum / n
+	if math.Abs(mean-x) > 0.005 {
+		t.Errorf("stochastic mean = %v, want ~%v", mean, x)
+	}
+	// RNE, by contrast, is deterministic and biased for this input.
+	if q := f.Quantize(x); q == x {
+		t.Errorf("test value %v should not be on the grid", x)
+	}
+}
+
+func TestStochasticSpecials(t *testing.T) {
+	r := tensor.NewRNG(3)
+	if !math.IsNaN(E4M3.QuantizeStochastic(math.NaN(), r)) {
+		t.Error("NaN must pass through")
+	}
+	if got := E4M3.QuantizeStochastic(0, r); got != 0 {
+		t.Errorf("zero -> %v", got)
+	}
+	if got := E4M3.QuantizeStochastic(1e9, r); got != 448 {
+		t.Errorf("overflow -> %v, want saturation", got)
+	}
+	// Exact grid points stay put.
+	if got := E4M3.QuantizeStochastic(0.5, r); got != 0.5 {
+		t.Errorf("grid point moved: %v", got)
+	}
+}
+
+func TestGridNeighbours(t *testing.T) {
+	for _, f := range Formats {
+		pts := f.GridPoints()
+		for i := 2; i < len(pts)-1; i++ {
+			if up := f.nextUp(pts[i]); up != pts[i+1] {
+				t.Errorf("%s: nextUp(%v) = %v, want %v", f, pts[i], up, pts[i+1])
+			}
+			if down := f.prevDown(pts[i]); down != pts[i-1] {
+				t.Errorf("%s: prevDown(%v) = %v, want %v", f, pts[i], down, pts[i-1])
+			}
+		}
+	}
+}

@@ -1,0 +1,457 @@
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"fp8quant/internal/data"
+	"fp8quant/internal/evalx"
+	"fp8quant/internal/models"
+	"fp8quant/internal/quant"
+)
+
+func init() {
+	registerExp(Experiment{ID: "table2", Title: "Table 2: workload pass rate", Run: runTable2})
+	registerExp(Experiment{ID: "fig4", Title: "Figure 4: accuracy-loss variability CV vs NLP", Run: runFig4})
+	registerExp(Experiment{ID: "table3", Title: "Table 3: representative model accuracy", Run: runTable3})
+	registerExp(Experiment{ID: "fig5", Title: "Figure 5: accuracy loss by model size", Run: runFig5})
+	registerExp(Experiment{ID: "fig7", Title: "Figure 7: BatchNorm calibration sample size and transform", Run: runFig7})
+	registerExp(Experiment{ID: "table5", Title: "Table 5: single vs mixed FP8 formats", Run: runTable5})
+	registerExp(Experiment{ID: "table6", Title: "Table 6: static vs dynamic quantization", Run: runTable6})
+	registerExp(Experiment{ID: "fig9", Title: "Figure 9: extended quantization recipes", Run: runFig9})
+	registerExp(Experiment{ID: "firstlast", Title: "Section 4.3.1: quantizing first and last operators", Run: runFirstLast})
+}
+
+// table2Recipes builds the per-model Table 2 recipe set. The INT8 row
+// follows the paper: static on CV, dynamic on NLP-like workloads.
+func table2Recipes(net *models.Network) []quant.Recipe {
+	return []quant.Recipe{
+		quant.StandardFP8(quant.E5M2),
+		quant.StandardFP8(quant.E4M3),
+		quant.DynamicFP8(quant.E4M3),
+		quant.StandardFP8(quant.E3M4),
+		quant.DynamicFP8(quant.E3M4),
+		quant.StandardINT8(net.Meta.Domain != models.CV),
+	}
+}
+
+var table2Labels = []string{
+	"E5M2 Direct", "E4M3 Static", "E4M3 Dynamic",
+	"E3M4 Static", "E3M4 Dynamic", "INT8 Static CV | Dynamic NLP",
+}
+
+// fullSweep memoizes the all-model Table 2 sweep so that table2, fig4
+// and fig5 (which all consume it) pay for it once per process.
+var fullSweep struct {
+	once    sync.Once
+	results [][]evalx.Result
+}
+
+func sweepAllModels() [][]evalx.Result {
+	fullSweep.once.Do(func() {
+		fullSweep.results = sweepAll(models.Names())
+	})
+	return fullSweep.results
+}
+
+// sweepAll evaluates the Table 2 recipe set on the named models in
+// parallel, returning results indexed [model][recipe].
+func sweepAll(names []string) [][]evalx.Result {
+	all := make([][]evalx.Result, len(names))
+	workers := runtime.NumCPU()
+	if workers > len(names) {
+		workers = len(names)
+	}
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				net, err := models.Build(names[i])
+				if err != nil {
+					continue
+				}
+				all[i] = evalx.EvaluateRecipes(net, table2Recipes(net), true)
+			}
+		}()
+	}
+	for i := range names {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return all
+}
+
+func column(all [][]evalx.Result, ri int) []evalx.Result {
+	col := make([]evalx.Result, 0, len(all))
+	for _, row := range all {
+		if ri < len(row) {
+			col = append(col, row[ri])
+		}
+	}
+	return col
+}
+
+func runTable2() *Report {
+	all := sweepAllModels()
+	tb := newTable("Data Type / Approach", "Pass Rate (CV)", "Pass Rate (NLP)", "Pass Rate (All)")
+	vals := map[string]float64{}
+	for ri, label := range table2Labels {
+		pr := evalx.AggregatePassRates(column(all, ri))
+		tb.add(label, pct(pr.CV), pct(pr.NLP), pct(pr.All))
+		vals["cv_"+label] = pr.CV
+		vals["nlp_"+label] = pr.NLP
+		vals["all_"+label] = pr.All
+	}
+	return &Report{
+		Text:   "Table 2 reproduction: workload pass rate (<=1% relative loss vs FP32).\n\n" + tb.String(),
+		Values: vals,
+	}
+}
+
+func runFig4() *Report {
+	all := sweepAllModels()
+	// Figure 4 plots loss variability per format for CV and NLP:
+	// E5M2, E4M3 (static), E3M4 (static), INT8.
+	idx := map[string]int{"E5M2": 0, "E4M3": 1, "E3M4": 3, "INT8": 5}
+	tb := newTable("format", "domain", "mean loss", "std", "median", "q1", "q3", "max")
+	vals := map[string]float64{}
+	for _, fmtName := range []string{"E5M2", "E4M3", "E3M4", "INT8"} {
+		for _, dom := range []models.Domain{models.CV, models.NLP} {
+			var losses []float64
+			for _, r := range column(all, idx[fmtName]) {
+				if r.Domain == dom {
+					losses = append(losses, r.RelLoss*100)
+				}
+			}
+			s := evalx.ComputeLossStats(losses)
+			tb.add(fmtName, dom.String(),
+				fmt.Sprintf("%.2f%%", s.Mean), fmt.Sprintf("%.2f", s.Std),
+				fmt.Sprintf("%.2f%%", s.Median), fmt.Sprintf("%.2f%%", s.Q1),
+				fmt.Sprintf("%.2f%%", s.Q3), fmt.Sprintf("%.2f%%", s.Max))
+			vals[fmt.Sprintf("std_%s_%s", fmtName, dom)] = s.Std
+			vals[fmt.Sprintf("mean_%s_%s", fmtName, dom)] = s.Mean
+		}
+	}
+	return &Report{
+		Text: "Figure 4 reproduction: distribution of accuracy loss per format and domain\n" +
+			"(box-plot statistics; paper shows INT8 with the largest CV variability).\n\n" + tb.String(),
+		Values: vals,
+	}
+}
+
+// table3Models mirrors the representative sample of Table 3.
+var table3Models = []string{
+	"resnet50", "densenet121", "wav2vec2_librispeech", "dlrm_criteo",
+	"bert_base_stsb", "bert_large_cola", "distilbert_mrpc",
+	"bloom_7b1", "bloom_176b", "llama_65b",
+}
+
+func runTable3() *Report {
+	tb := newTable("Model", "Task", "FP32", "E5M2", "E4M3", "E3M4", "INT8")
+	vals := map[string]float64{}
+	for _, name := range table3Models {
+		net, err := models.Build(name)
+		if err != nil {
+			continue
+		}
+		recipes := []quant.Recipe{
+			quant.StandardFP8(quant.E5M2),
+			quant.StandardFP8(quant.E4M3),
+			quant.StandardFP8(quant.E3M4),
+			quant.StandardINT8(net.Meta.Domain != models.CV),
+		}
+		res := evalx.EvaluateRecipes(net, recipes, true)
+		tb.add(name, net.Meta.Task, "1.0000",
+			fmt.Sprintf("%.4f", res[0].QAcc), fmt.Sprintf("%.4f", res[1].QAcc),
+			fmt.Sprintf("%.4f", res[2].QAcc), fmt.Sprintf("%.4f", res[3].QAcc))
+		vals[name+"_E4M3"] = res[1].QAcc
+		vals[name+"_E3M4"] = res[2].QAcc
+		vals[name+"_INT8"] = res[3].QAcc
+		vals[name+"_E5M2"] = res[0].QAcc
+	}
+	return &Report{
+		Text: "Table 3 reproduction: teacher-is-truth accuracy of representative models\n" +
+			"(FP32 reference accuracy is 1.0 by construction; paper reports task metrics).\n\n" + tb.String(),
+		Values: vals,
+	}
+}
+
+func runFig5() *Report {
+	all := sweepAllModels()
+	idx := map[string]int{"E5M2": 0, "E4M3": 1, "E3M4": 3, "INT8": 5}
+	classes := []string{"tiny", "small", "medium", "large"}
+	tb := newTable("domain", "size class", "format", "mean loss", "max loss", "n")
+	vals := map[string]float64{}
+	for _, dom := range []models.Domain{models.CV, models.NLP} {
+		for _, sc := range classes {
+			for _, f := range []string{"E5M2", "E4M3", "E3M4", "INT8"} {
+				var losses []float64
+				for _, r := range column(all, idx[f]) {
+					info, _ := models.InfoFor(r.Model)
+					if r.Domain == dom && info.SizeClass() == sc {
+						losses = append(losses, r.RelLoss*100)
+					}
+				}
+				if len(losses) == 0 {
+					continue
+				}
+				s := evalx.ComputeLossStats(losses)
+				tb.add(dom.String(), sc, f, fmt.Sprintf("%.2f%%", s.Mean),
+					fmt.Sprintf("%.2f%%", s.Max), fmt.Sprintf("%d", s.N))
+				vals[fmt.Sprintf("%s_%s_%s", dom, sc, f)] = s.Mean
+			}
+		}
+	}
+	return &Report{
+		Text:   "Figure 5 reproduction: accuracy loss bucketed by model size class.\n\n" + tb.String(),
+		Values: vals,
+	}
+}
+
+// fig7Models are BatchNorm CV models from the Figure 7 list (the
+// cheaper half — the full list is available in the zoo but the single
+// pass-rate protocol already covers it; see DESIGN.md on runtime).
+var fig7Models = []string{
+	"resnet18", "peleenet", "mobilenet_v2", "googlenet",
+	"shufflenet_v2", "densenet121", "efficientnet_b0", "squeezenet",
+}
+
+func runFig7() *Report {
+	// Sample-size x transform grid: {300, 3k, 10k} samples with the
+	// training transform, plus 3k with the inference transform.
+	type cfg struct {
+		label     string
+		samples   int
+		transform data.Transform
+	}
+	// Sample counts are the paper's {300, 3K, 10K} scaled down ~3x to
+	// match the zoo's scaled-down models (see DESIGN.md §5).
+	cfgs := []cfg{
+		{"100 Samples + Training", 100, data.AugmentTraining},
+		{"3.2K Samples + Training", 3200, data.AugmentTraining},
+		{"1K Samples + Inference", 1000, data.AugmentInference},
+		{"1K Samples + Training", 1000, data.AugmentTraining},
+	}
+	tb := newTable("model", cfgs[0].label, cfgs[1].label, cfgs[2].label, cfgs[3].label)
+	vals := map[string]float64{}
+	for _, name := range fig7Models {
+		net, err := models.Build(name)
+		if err != nil || !net.Meta.HasBN {
+			continue
+		}
+		ref := evalx.ComputeReference(net)
+		row := []string{name}
+		for _, c := range cfgs {
+			// Batches of 16 images -> sample count / 16 BN batches.
+			bnBatches := c.samples / 16
+			if bnBatches < 1 {
+				bnBatches = 1
+			}
+			ds := &data.ImageDataset{N: 16, C: 3, H: 12, W: 12,
+				NumBatches: bnBatches, Seed: 0xF167, Transform: c.transform}
+			r := quant.StandardFP8(quant.E4M3)
+			r.CalibBatches = evalx.CalibBatches
+			r = r.WithBNCalib(bnBatches)
+			loss := evaluateBNConfig(net, ds, r, ref)
+			row = append(row, fmt.Sprintf("%.2f%%", loss*100))
+			vals[name+"_"+c.label] = loss * 100
+		}
+		tb.add(row...)
+	}
+	return &Report{
+		Text: "Figure 7 reproduction: accuracy loss after E4M3 quantization with BatchNorm\n" +
+			"calibration at different sample sizes and transforms (lower is better).\n\n" + tb.String(),
+		Values: vals,
+	}
+}
+
+// evaluateBNConfig quantizes with the given dataset (which carries the
+// augmentation transform) and returns the relative accuracy loss.
+func evaluateBNConfig(net *models.Network, ds data.Dataset, r quant.Recipe, ref evalx.Reference) float64 {
+	h := quant.Quantize(net, ds, r)
+	acc := evalx.AccuracyAgainst(net, ref)
+	h.Release()
+	return data.RelativeLoss(1.0, acc)
+}
+
+// table5Models are the mixed-format study models of Table 5.
+var table5Models = []string{"bert_base_mrpc", "bert_large_rte", "funnel_mrpc", "longformer_mrpc"}
+
+func runTable5() *Report {
+	tb := newTable("Model", "Task", "FP32", "E5M2", "E4M3", "E3M4", "Mixed")
+	vals := map[string]float64{}
+	for _, name := range table5Models {
+		net, err := models.Build(name)
+		if err != nil {
+			continue
+		}
+		recipes := []quant.Recipe{
+			quant.StandardFP8(quant.E5M2),
+			quant.StandardFP8(quant.E4M3),
+			quant.StandardFP8(quant.E3M4),
+			quant.MixedFP8(),
+		}
+		res := evalx.EvaluateRecipes(net, recipes, true)
+		tb.add(name, net.Meta.Task, "1.0000",
+			fmt.Sprintf("%.4f", res[0].QAcc), fmt.Sprintf("%.4f", res[1].QAcc),
+			fmt.Sprintf("%.4f", res[2].QAcc), fmt.Sprintf("%.4f", res[3].QAcc))
+		vals[name+"_E5M2"] = res[0].QAcc
+		vals[name+"_E4M3"] = res[1].QAcc
+		vals[name+"_E3M4"] = res[2].QAcc
+		vals[name+"_Mixed"] = res[3].QAcc
+	}
+	return &Report{
+		Text: "Table 5 reproduction: single vs mixed FP8 formats (E4M3 activations +\n" +
+			"E3M4 weights) on the paper's mixed-format study models.\n\n" + tb.String(),
+		Values: vals,
+	}
+}
+
+// table6Cases are the static-vs-dynamic comparisons of Table 6.
+var table6Cases = []struct {
+	model  string
+	format quant.DType
+}{
+	{"bert_base_mrpc", quant.E4M3},
+	{"bert_base_cola", quant.E4M3},
+	{"bert_large_rte", quant.E4M3},
+	{"xlm_roberta_mrpc", quant.E3M4},
+}
+
+func runTable6() *Report {
+	tb := newTable("Model", "FP8 Format", "Dynamic", "Static", "Improvement")
+	vals := map[string]float64{}
+	for _, c := range table6Cases {
+		net, err := models.Build(c.model)
+		if err != nil {
+			continue
+		}
+		res := evalx.EvaluateRecipes(net, []quant.Recipe{
+			quant.DynamicFP8(c.format),
+			quant.StandardFP8(c.format),
+		}, true)
+		dyn, st := res[0].QAcc, res[1].QAcc
+		tb.add(c.model, c.format.String(),
+			fmt.Sprintf("%.4f", dyn), fmt.Sprintf("%.4f", st),
+			fmt.Sprintf("%+.2f%%", (dyn-st)*100))
+		vals[c.model+"_dynamic"] = dyn
+		vals[c.model+"_static"] = st
+	}
+	return &Report{
+		Text: "Table 6 reproduction: static vs dynamic quantization on NLP workloads\n" +
+			"(paper reports dynamic improving E4M3/E3M4 accuracy on selected models).\n\n" + tb.String(),
+		Values: vals,
+	}
+}
+
+func runFig9() *Report {
+	vals := map[string]float64{}
+	tb := newTable("domain", "recipe", "format", "mean loss", "std", "max")
+	// CV: standard ops vs also quantizing first/last operators.
+	cvNames := models.NamesByDomain(models.CV)[:12]
+	for _, f := range []quant.DType{quant.E5M2, quant.E4M3, quant.E3M4} {
+		for _, firstLast := range []bool{false, true} {
+			var losses []float64
+			for _, name := range cvNames {
+				net, err := models.Build(name)
+				if err != nil {
+					continue
+				}
+				r := quant.StandardFP8(f)
+				if firstLast {
+					r = r.WithFirstLast()
+				}
+				res := evalx.Evaluate(net, r, true)
+				losses = append(losses, res.RelLoss*100)
+			}
+			s := evalx.ComputeLossStats(losses)
+			label := "Conv,Linear"
+			if firstLast {
+				label = "Conv,Linear -1st&LastOps"
+			}
+			tb.add("CV", label, f.String(), fmt.Sprintf("%.2f%%", s.Mean),
+				fmt.Sprintf("%.2f", s.Std), fmt.Sprintf("%.2f%%", s.Max))
+			vals[fmt.Sprintf("cv_%s_firstlast_%v", f, firstLast)] = s.Mean
+		}
+	}
+	// NLP: standard ops vs extended coverage (+BMM/MM/Emb/LayerNorm).
+	nlpNames := models.NamesByDomain(models.NLP)[:12]
+	for _, f := range []quant.DType{quant.E5M2, quant.E4M3, quant.E3M4} {
+		for _, extended := range []bool{false, true} {
+			var losses []float64
+			for _, name := range nlpNames {
+				net, err := models.Build(name)
+				if err != nil {
+					continue
+				}
+				r := quant.StandardFP8(f)
+				if extended {
+					r = r.WithExtendedOps()
+				}
+				res := evalx.Evaluate(net, r, true)
+				losses = append(losses, res.RelLoss*100)
+			}
+			s := evalx.ComputeLossStats(losses)
+			label := "Linear"
+			if extended {
+				label = "Linear +BMM,MM,Emb,LayerNorm"
+			}
+			tb.add("NLP", label, f.String(), fmt.Sprintf("%.2f%%", s.Mean),
+				fmt.Sprintf("%.2f", s.Std), fmt.Sprintf("%.2f%%", s.Max))
+			vals[fmt.Sprintf("nlp_%s_extended_%v", f, extended)] = s.Mean
+		}
+	}
+	return &Report{
+		Text: "Figure 9 reproduction: accuracy impact of extended quantization recipes\n" +
+			"(CV: quantizing first/last ops; NLP: expanded operator coverage).\n\n" + tb.String(),
+		Values: vals,
+	}
+}
+
+func runFirstLast() *Report {
+	// Section 4.3.1: pass-rate drop when quantizing first and last
+	// operators of CNNs.
+	names := models.NamesByDomain(models.CV)
+	tb := newTable("format", "pass rate (std)", "pass rate (+first/last)", "drop")
+	vals := map[string]float64{}
+	for _, f := range []quant.DType{quant.E5M2, quant.E4M3, quant.E3M4} {
+		var std, fl int
+		total := 0
+		for _, name := range names {
+			info, _ := models.InfoFor(name)
+			if !info.IsCNN {
+				continue
+			}
+			net, err := models.Build(name)
+			if err != nil {
+				continue
+			}
+			res := evalx.EvaluateRecipes(net, []quant.Recipe{
+				quant.StandardFP8(f),
+				quant.StandardFP8(f).WithFirstLast(),
+			}, true)
+			total++
+			if res[0].Pass {
+				std++
+			}
+			if res[1].Pass {
+				fl++
+			}
+		}
+		sp := float64(std) / float64(total) * 100
+		fp := float64(fl) / float64(total) * 100
+		tb.add(f.String(), pct(sp), pct(fp), fmt.Sprintf("%.1f pts", sp-fp))
+		vals["std_"+f.String()] = sp
+		vals["firstlast_"+f.String()] = fp
+	}
+	return &Report{
+		Text: "Section 4.3.1 reproduction: quantizing the first convolution and last\n" +
+			"linear layer reduces the CNN pass rate, most for the low-mantissa formats.\n\n" + tb.String(),
+		Values: vals,
+	}
+}

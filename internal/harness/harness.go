@@ -1,0 +1,116 @@
+// Package harness regenerates every table and figure of the paper's
+// evaluation section. Each experiment is a function returning a
+// human-readable report (the rows/series the paper plots) plus
+// structured values that the test-suite asserts shape properties on.
+//
+// Experiment ids match DESIGN.md's per-experiment index: fig1, fig3,
+// table2, fig4, table3, fig5, fig6, table4, fig7, fig8, table5,
+// table6, fig9, fig10, firstlast.
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Experiment is a runnable reproduction unit.
+type Experiment struct {
+	// ID is the table/figure identifier (e.g. "table2").
+	ID string
+	// Title describes the paper artifact.
+	Title string
+	// Run executes the experiment and returns its report.
+	Run func() *Report
+}
+
+// Report carries the formatted output and the structured numbers.
+type Report struct {
+	// Text is the printable reproduction of the table/figure.
+	Text string
+	// Values holds named scalar results for programmatic checks.
+	Values map[string]float64
+}
+
+// registry of experiments, populated by init() in exp_*.go files.
+var experiments = map[string]Experiment{}
+
+func registerExp(e Experiment) {
+	if _, dup := experiments[e.ID]; dup {
+		panic("harness: duplicate experiment " + e.ID)
+	}
+	experiments[e.ID] = e
+}
+
+// IDs returns the registered experiment ids, sorted.
+func IDs() []string {
+	out := make([]string, 0, len(experiments))
+	for id := range experiments {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Get returns the experiment with the given id.
+func Get(id string) (Experiment, bool) {
+	e, ok := experiments[id]
+	return e, ok
+}
+
+// table is a tiny fixed-width text table builder.
+type table struct {
+	header []string
+	rows   [][]string
+}
+
+func newTable(cols ...string) *table { return &table{header: cols} }
+
+func (t *table) add(cells ...string) { t.rows = append(t.rows, cells) }
+
+func (t *table) addf(format string, args ...interface{}) {
+	t.add(strings.Split(fmt.Sprintf(format, args...), "|")...)
+}
+
+func (t *table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[min(i, len(widths)-1)], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range t.rows {
+		line(r)
+	}
+	return b.String()
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func pct(x float64) string { return fmt.Sprintf("%.2f%%", x) }

@@ -1,0 +1,179 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"fp8quant/internal/tensor"
+)
+
+// MultiHeadAttention implements scaled dot-product attention with
+// learned Q/K/V/output projections. The two activation×activation
+// matrix multiplies (QKᵀ and PV) are explicit BatchMatMulOp leaves so
+// the extended quantization scheme can cover them (the "BMM" rows of
+// Figure 9).
+type MultiHeadAttention struct {
+	Dim, Heads int
+	WQ, WK, WV *Linear
+	WO         *Linear
+	// QK and PV are the two batched matmuls inside attention.
+	QK, PV BatchMatMulOp
+	// Causal masks future positions (decoder-only LMs).
+	Causal bool
+	// Window > 0 restricts attention to a sliding local window
+	// (Longformer-style).
+	Window int
+}
+
+// NewMultiHeadAttention allocates an attention block with zero weights.
+func NewMultiHeadAttention(dim, heads int) *MultiHeadAttention {
+	if dim%heads != 0 {
+		panic(fmt.Sprintf("nn: attention dim %d not divisible by heads %d", dim, heads))
+	}
+	return &MultiHeadAttention{
+		Dim: dim, Heads: heads,
+		WQ: NewLinear(dim, dim), WK: NewLinear(dim, dim),
+		WV: NewLinear(dim, dim), WO: NewLinear(dim, dim),
+		QK: BatchMatMulOp{TransposeB: true},
+	}
+}
+
+// Kind implements Module.
+func (a *MultiHeadAttention) Kind() string { return "MultiHeadAttention" }
+
+// Visit implements Container.
+func (a *MultiHeadAttention) Visit(path string, v Visitor) {
+	walk(path+"/wq", a.WQ, v)
+	walk(path+"/wk", a.WK, v)
+	walk(path+"/wv", a.WV, v)
+	walk(path+"/wo", a.WO, v)
+	walk(path+"/qk", &a.QK, v)
+	walk(path+"/pv", &a.PV, v)
+}
+
+// Forward runs self-attention over x [B,T,D].
+func (a *MultiHeadAttention) Forward(x *tensor.Tensor) *tensor.Tensor {
+	if x.Rank() != 3 || x.Shape[2] != a.Dim {
+		panic(fmt.Sprintf("nn: attention expects [B,T,%d], got %v", a.Dim, x.Shape))
+	}
+	b, t := x.Shape[0], x.Shape[1]
+	hd := a.Dim / a.Heads
+
+	q := splitHeads(a.WQ.Forward(x), a.Heads) // [B,H,T,hd]
+	k := splitHeads(a.WK.Forward(x), a.Heads)
+	v := splitHeads(a.WV.Forward(x), a.Heads)
+
+	scores := a.QK.Apply(q, k) // [B,H,T,T]
+	scale := float32(1 / math.Sqrt(float64(hd)))
+	for i := range scores.Data {
+		scores.Data[i] *= scale
+	}
+	a.mask(scores, b, t)
+
+	probs := tensor.New(scores.Shape...)
+	SoftmaxInto(probs.Data, scores.Data, t)
+
+	ctx := a.PV.Apply(probs, v) // [B,H,T,hd]
+	return a.WO.Forward(mergeHeads(ctx))
+}
+
+// mask applies causal and/or sliding-window masking in place.
+func (a *MultiHeadAttention) mask(scores *tensor.Tensor, b, t int) {
+	if !a.Causal && a.Window <= 0 {
+		return
+	}
+	const negInf = float32(-1e30)
+	heads := a.Heads
+	for bi := 0; bi < b*heads; bi++ {
+		m := scores.Data[bi*t*t : (bi+1)*t*t]
+		for i := 0; i < t; i++ {
+			for j := 0; j < t; j++ {
+				if a.Causal && j > i {
+					m[i*t+j] = negInf
+				}
+				if a.Window > 0 && abs(i-j) > a.Window {
+					m[i*t+j] = negInf
+				}
+			}
+		}
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// splitHeads reshapes [B,T,D] to [B,H,T,D/H].
+func splitHeads(x *tensor.Tensor, heads int) *tensor.Tensor {
+	b, t, d := x.Shape[0], x.Shape[1], x.Shape[2]
+	hd := d / heads
+	y := tensor.New(b, heads, t, hd)
+	for bi := 0; bi < b; bi++ {
+		for ti := 0; ti < t; ti++ {
+			for h := 0; h < heads; h++ {
+				src := x.Data[(bi*t+ti)*d+h*hd : (bi*t+ti)*d+(h+1)*hd]
+				dst := y.Data[((bi*heads+h)*t+ti)*hd:]
+				copy(dst[:hd], src)
+			}
+		}
+	}
+	return y
+}
+
+// mergeHeads reshapes [B,H,T,hd] back to [B,T,D].
+func mergeHeads(x *tensor.Tensor) *tensor.Tensor {
+	b, heads, t, hd := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	d := heads * hd
+	y := tensor.New(b, t, d)
+	for bi := 0; bi < b; bi++ {
+		for h := 0; h < heads; h++ {
+			for ti := 0; ti < t; ti++ {
+				src := x.Data[((bi*heads+h)*t+ti)*hd : ((bi*heads+h)*t+ti+1)*hd]
+				dst := y.Data[(bi*t+ti)*d+h*hd:]
+				copy(dst[:hd], src)
+			}
+		}
+	}
+	return y
+}
+
+// CrossAttention attends queries from x over keys/values from a memory
+// tensor (encoder-decoder models: Marian, Pegasus).
+type CrossAttention struct {
+	*MultiHeadAttention
+}
+
+// NewCrossAttention allocates a cross-attention block.
+func NewCrossAttention(dim, heads int) *CrossAttention {
+	return &CrossAttention{NewMultiHeadAttention(dim, heads)}
+}
+
+// Kind implements Module.
+func (c *CrossAttention) Kind() string { return "CrossAttention" }
+
+// Attend runs attention with queries from x [B,Tq,D] and keys/values
+// from mem [B,Tk,D].
+func (c *CrossAttention) Attend(x, mem *tensor.Tensor) *tensor.Tensor {
+	b, tq := x.Shape[0], x.Shape[1]
+	tk := mem.Shape[1]
+	hd := c.Dim / c.Heads
+
+	q := splitHeads(c.WQ.Forward(x), c.Heads)
+	k := splitHeads(c.WK.Forward(mem), c.Heads)
+	v := splitHeads(c.WV.Forward(mem), c.Heads)
+
+	scores := c.QK.Apply(q, k) // [B,H,Tq,Tk]
+	scale := float32(1 / math.Sqrt(float64(hd)))
+	for i := range scores.Data {
+		scores.Data[i] *= scale
+	}
+	probs := tensor.New(scores.Shape...)
+	SoftmaxInto(probs.Data, scores.Data, tk)
+	ctx := c.PV.Apply(probs, v)
+	_ = b
+	_ = tq
+	return c.WO.Forward(mergeHeads(ctx))
+}

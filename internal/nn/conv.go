@@ -1,0 +1,257 @@
+package nn
+
+import (
+	"fmt"
+
+	"fp8quant/internal/tensor"
+)
+
+// Conv2d is a 2-D convolution over NCHW tensors with optional grouping
+// (Groups == InC == OutC gives a depthwise convolution, the op that
+// makes INT8 struggle on MobileNet/EfficientNet-style models).
+type Conv2d struct {
+	InC, OutC int
+	K         int // square kernel size
+	Stride    int
+	Pad       int
+	Groups    int
+	// W has shape [OutC, InC/Groups, K, K].
+	W *tensor.Tensor
+	// B has length OutC; may be nil.
+	B []float32
+	// QS holds quantization hooks for the input activation.
+	QS QState
+}
+
+// NewConv2d allocates a convolution layer with zero weights.
+func NewConv2d(inC, outC, k, stride, pad, groups int) *Conv2d {
+	if groups <= 0 {
+		groups = 1
+	}
+	if inC%groups != 0 || outC%groups != 0 {
+		panic(fmt.Sprintf("nn: conv channels %d->%d not divisible by groups %d", inC, outC, groups))
+	}
+	return &Conv2d{
+		InC: inC, OutC: outC, K: k, Stride: stride, Pad: pad, Groups: groups,
+		W: tensor.New(outC, inC/groups, k, k),
+		B: make([]float32, outC),
+	}
+}
+
+// Kind implements Module.
+func (c *Conv2d) Kind() string { return "Conv2d" }
+
+// Q implements Quantizable.
+func (c *Conv2d) Q() *QState { return &c.QS }
+
+// WeightTensor implements Parametric.
+func (c *Conv2d) WeightTensor() *tensor.Tensor { return c.W }
+
+// OutChannelDim implements Parametric.
+func (c *Conv2d) OutChannelDim() int { return 0 }
+
+// OutSize returns the spatial output size for input size n.
+func (c *Conv2d) OutSize(n int) int {
+	return (n+2*c.Pad-c.K)/c.Stride + 1
+}
+
+// Forward convolves x [N, InC, H, W] producing [N, OutC, H', W'].
+func (c *Conv2d) Forward(x *tensor.Tensor) *tensor.Tensor {
+	if x.Rank() != 4 || x.Shape[1] != c.InC {
+		panic(fmt.Sprintf("nn: Conv2d expects [N,%d,H,W], got %v", c.InC, x.Shape))
+	}
+	x = c.QS.applyIn(x)
+	n, h, w := x.Shape[0], x.Shape[2], x.Shape[3]
+	oh, ow := c.OutSize(h), c.OutSize(w)
+	if oh <= 0 || ow <= 0 {
+		panic(fmt.Sprintf("nn: Conv2d output empty for input %v", x.Shape))
+	}
+	y := tensor.New(n, c.OutC, oh, ow)
+	icg := c.InC / c.Groups // input channels per group
+	ocg := c.OutC / c.Groups
+	for ni := 0; ni < n; ni++ {
+		for oc := 0; oc < c.OutC; oc++ {
+			g := oc / ocg
+			var bias float32
+			if c.B != nil {
+				bias = c.B[oc]
+			}
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					acc := bias
+					for ic := 0; ic < icg; ic++ {
+						inC := g*icg + ic
+						for ky := 0; ky < c.K; ky++ {
+							iy := oy*c.Stride - c.Pad + ky
+							if iy < 0 || iy >= h {
+								continue
+							}
+							xRow := x.Data[((ni*c.InC+inC)*h+iy)*w:]
+							wRow := c.W.Data[((oc*icg+ic)*c.K+ky)*c.K:]
+							for kx := 0; kx < c.K; kx++ {
+								ix := ox*c.Stride - c.Pad + kx
+								if ix < 0 || ix >= w {
+									continue
+								}
+								acc += xRow[ix] * wRow[kx]
+							}
+						}
+					}
+					y.Data[((ni*c.OutC+oc)*oh+oy)*ow+ox] = acc
+				}
+			}
+		}
+	}
+	return c.QS.applyOut(y)
+}
+
+// MaxPool2d takes the max over non-overlapping K×K windows.
+type MaxPool2d struct {
+	K, Stride int
+}
+
+// Kind implements Module.
+func (p *MaxPool2d) Kind() string { return "MaxPool2d" }
+
+// Forward pools x [N,C,H,W].
+func (p *MaxPool2d) Forward(x *tensor.Tensor) *tensor.Tensor {
+	return pool2d(x, p.K, p.Stride, true)
+}
+
+// AvgPool2d averages over K×K windows.
+type AvgPool2d struct {
+	K, Stride int
+}
+
+// Kind implements Module.
+func (p *AvgPool2d) Kind() string { return "AvgPool2d" }
+
+// Forward pools x [N,C,H,W].
+func (p *AvgPool2d) Forward(x *tensor.Tensor) *tensor.Tensor {
+	return pool2d(x, p.K, p.Stride, false)
+}
+
+func pool2d(x *tensor.Tensor, k, stride int, max bool) *tensor.Tensor {
+	if x.Rank() != 4 {
+		panic("nn: pooling expects NCHW")
+	}
+	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	oh := (h-k)/stride + 1
+	ow := (w-k)/stride + 1
+	y := tensor.New(n, c, oh, ow)
+	for ni := 0; ni < n; ni++ {
+		for ci := 0; ci < c; ci++ {
+			plane := x.Data[(ni*c+ci)*h*w:]
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					var acc float32
+					if max {
+						acc = plane[(oy*stride)*w+ox*stride]
+					}
+					for ky := 0; ky < k; ky++ {
+						for kx := 0; kx < k; kx++ {
+							v := plane[(oy*stride+ky)*w+(ox*stride+kx)]
+							if max {
+								if v > acc {
+									acc = v
+								}
+							} else {
+								acc += v
+							}
+						}
+					}
+					if !max {
+						acc /= float32(k * k)
+					}
+					y.Data[((ni*c+ci)*oh+oy)*ow+ox] = acc
+				}
+			}
+		}
+	}
+	return y
+}
+
+// GlobalAvgPool reduces [N,C,H,W] to [N,C].
+type GlobalAvgPool struct{}
+
+// Kind implements Module.
+func (GlobalAvgPool) Kind() string { return "GlobalAvgPool" }
+
+// Forward averages each channel plane.
+func (GlobalAvgPool) Forward(x *tensor.Tensor) *tensor.Tensor {
+	if x.Rank() != 4 {
+		panic("nn: GlobalAvgPool expects NCHW")
+	}
+	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	y := tensor.New(n, c)
+	area := float32(h * w)
+	for ni := 0; ni < n; ni++ {
+		for ci := 0; ci < c; ci++ {
+			plane := x.Data[(ni*c+ci)*h*w : (ni*c+ci+1)*h*w]
+			var s float32
+			for _, v := range plane {
+				s += v
+			}
+			y.Data[ni*c+ci] = s / area
+		}
+	}
+	return y
+}
+
+// Flatten reshapes [N, ...] to [N, rest].
+type Flatten struct{}
+
+// Kind implements Module.
+func (Flatten) Kind() string { return "Flatten" }
+
+// Forward flattens all but the leading dimension.
+func (Flatten) Forward(x *tensor.Tensor) *tensor.Tensor {
+	return x.Reshape(x.Shape[0], x.Len()/x.Shape[0])
+}
+
+// Upsample2x nearest-neighbour upsamples [N,C,H,W] to [N,C,2H,2W]
+// (used by the U-Net decoder path).
+type Upsample2x struct{}
+
+// Kind implements Module.
+func (Upsample2x) Kind() string { return "Upsample2x" }
+
+// Forward duplicates each pixel into a 2×2 block.
+func (Upsample2x) Forward(x *tensor.Tensor) *tensor.Tensor {
+	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	y := tensor.New(n, c, 2*h, 2*w)
+	for ni := 0; ni < n; ni++ {
+		for ci := 0; ci < c; ci++ {
+			src := x.Data[(ni*c+ci)*h*w:]
+			dst := y.Data[(ni*c+ci)*4*h*w:]
+			for iy := 0; iy < h; iy++ {
+				for ix := 0; ix < w; ix++ {
+					v := src[iy*w+ix]
+					dst[(2*iy)*2*w+2*ix] = v
+					dst[(2*iy)*2*w+2*ix+1] = v
+					dst[(2*iy+1)*2*w+2*ix] = v
+					dst[(2*iy+1)*2*w+2*ix+1] = v
+				}
+			}
+		}
+	}
+	return y
+}
+
+// ConcatChannels concatenates two NCHW tensors along the channel dim
+// (U-Net skip connections).
+func ConcatChannels(a, b *tensor.Tensor) *tensor.Tensor {
+	if a.Rank() != 4 || b.Rank() != 4 || a.Shape[0] != b.Shape[0] ||
+		a.Shape[2] != b.Shape[2] || a.Shape[3] != b.Shape[3] {
+		panic(fmt.Sprintf("nn: ConcatChannels shape mismatch %v vs %v", a.Shape, b.Shape))
+	}
+	n, ca, cb := a.Shape[0], a.Shape[1], b.Shape[1]
+	h, w := a.Shape[2], a.Shape[3]
+	y := tensor.New(n, ca+cb, h, w)
+	hw := h * w
+	for ni := 0; ni < n; ni++ {
+		copy(y.Data[ni*(ca+cb)*hw:], a.Data[ni*ca*hw:(ni+1)*ca*hw])
+		copy(y.Data[(ni*(ca+cb)+ca)*hw:], b.Data[ni*cb*hw:(ni+1)*cb*hw])
+	}
+	return y
+}

@@ -1,0 +1,186 @@
+package nn
+
+import (
+	"fmt"
+
+	"fp8quant/internal/tensor"
+)
+
+// Linear is a fully-connected layer: y = x·Wᵀ + b. The weight is stored
+// as [Out, In] so that per-channel (per-output-row) scaling matches the
+// paper's recommended weight quantization granularity.
+type Linear struct {
+	In, Out int
+	// W has shape [Out, In].
+	W *tensor.Tensor
+	// B has length Out; may be nil for no bias.
+	B []float32
+	// QS holds quantization hooks for the input activation.
+	QS QState
+}
+
+// NewLinear allocates a Linear layer with zero weights.
+func NewLinear(in, out int) *Linear {
+	return &Linear{In: in, Out: out, W: tensor.New(out, in), B: make([]float32, out)}
+}
+
+// Kind implements Module.
+func (l *Linear) Kind() string { return "Linear" }
+
+// Q implements Quantizable.
+func (l *Linear) Q() *QState { return &l.QS }
+
+// WeightTensor implements Parametric.
+func (l *Linear) WeightTensor() *tensor.Tensor { return l.W }
+
+// OutChannelDim implements Parametric: rows of W index output channels.
+func (l *Linear) OutChannelDim() int { return 0 }
+
+// Forward computes x·Wᵀ + b. x may have any leading shape as long as
+// the final dimension equals In; the output replaces it with Out.
+func (l *Linear) Forward(x *tensor.Tensor) *tensor.Tensor {
+	rows, cols := flatten2D(x)
+	if cols != l.In {
+		panic(fmt.Sprintf("nn: Linear expects last dim %d, got shape %v", l.In, x.Shape))
+	}
+	x = l.QS.applyIn(x)
+	outShape := append(append([]int(nil), x.Shape[:x.Rank()-1]...), l.Out)
+	y := tensor.New(outShape...)
+	matmulT(y.Data, x.Data, l.W.Data, rows, l.In, l.Out)
+	if l.B != nil {
+		for r := 0; r < rows; r++ {
+			row := y.Data[r*l.Out : (r+1)*l.Out]
+			for j := range row {
+				row[j] += l.B[j]
+			}
+		}
+	}
+	return l.QS.applyOut(y)
+}
+
+// matmulT computes y[r,o] = sum_k x[r,k] * w[o,k] for row-major
+// buffers: x is [rows, in], w is [out, in], y is [rows, out].
+// Accumulation is float32, matching typical FP8-with-FP32-accumulate
+// hardware behaviour emulated by the paper.
+func matmulT(y, x, w []float32, rows, in, out int) {
+	for r := 0; r < rows; r++ {
+		xr := x[r*in : (r+1)*in]
+		yr := y[r*out : (r+1)*out]
+		for o := 0; o < out; o++ {
+			wo := w[o*in : (o+1)*in]
+			var acc float32
+			for k := range xr {
+				acc += xr[k] * wo[k]
+			}
+			yr[o] = acc
+		}
+	}
+}
+
+// MatMulOp is an explicit activation×activation matrix multiply leaf
+// (torch.matmul between two tensors), quantized only by the extended
+// scheme. Both operands are activations, so it carries two input hooks.
+type MatMulOp struct {
+	// QA and QB quantize the two operands.
+	QA, QB QState
+}
+
+// Kind implements Module.
+func (m *MatMulOp) Kind() string { return "MatMul" }
+
+// Q returns the first operand's QState (Quantizable interface); use QB
+// for the second operand.
+func (m *MatMulOp) Q() *QState { return &m.QA }
+
+// Forward is unsupported: MatMulOp is binary. Use Apply.
+func (m *MatMulOp) Forward(x *tensor.Tensor) *tensor.Tensor {
+	panic("nn: MatMulOp is binary; call Apply(a, b)")
+}
+
+// Apply multiplies a [.., M, K] by b [.., K, N] treating leading
+// dimensions as batch (they must match); returns [.., M, N].
+func (m *MatMulOp) Apply(a, b *tensor.Tensor) *tensor.Tensor {
+	a = m.QA.applyIn(a)
+	b = m.QB.applyIn(b)
+	return BatchMatMul(a, b, false)
+}
+
+// BatchMatMulOp is the BMM leaf used inside attention (QKᵀ and PV).
+type BatchMatMulOp struct {
+	QA, QB QState
+	// TransposeB multiplies by bᵀ over the last two dims.
+	TransposeB bool
+}
+
+// Kind implements Module.
+func (m *BatchMatMulOp) Kind() string { return "BatchMatMul" }
+
+// Q returns the first operand's QState.
+func (m *BatchMatMulOp) Q() *QState { return &m.QA }
+
+// Forward is unsupported: BatchMatMulOp is binary. Use Apply.
+func (m *BatchMatMulOp) Forward(x *tensor.Tensor) *tensor.Tensor {
+	panic("nn: BatchMatMulOp is binary; call Apply(a, b)")
+}
+
+// Apply performs the batched multiply.
+func (m *BatchMatMulOp) Apply(a, b *tensor.Tensor) *tensor.Tensor {
+	a = m.QA.applyIn(a)
+	b = m.QB.applyIn(b)
+	return BatchMatMul(a, b, m.TransposeB)
+}
+
+// BatchMatMul multiplies batched matrices: a is [batch..., M, K] and b
+// is [batch..., K, N] (or [batch..., N, K] when transB). Leading batch
+// dims must match exactly.
+func BatchMatMul(a, b *tensor.Tensor, transB bool) *tensor.Tensor {
+	if a.Rank() < 2 || b.Rank() < 2 {
+		panic("nn: BatchMatMul needs rank >= 2")
+	}
+	M := a.Shape[a.Rank()-2]
+	K := a.Shape[a.Rank()-1]
+	var N, bK int
+	if transB {
+		N = b.Shape[b.Rank()-2]
+		bK = b.Shape[b.Rank()-1]
+	} else {
+		bK = b.Shape[b.Rank()-2]
+		N = b.Shape[b.Rank()-1]
+	}
+	if bK != K {
+		panic(fmt.Sprintf("nn: BatchMatMul inner dims mismatch: %v x %v (transB=%v)", a.Shape, b.Shape, transB))
+	}
+	batch := a.Len() / (M * K)
+	if b.Len()/(bqSize(transB, K, N)) != batch {
+		panic(fmt.Sprintf("nn: BatchMatMul batch mismatch: %v x %v", a.Shape, b.Shape))
+	}
+	outShape := append(append([]int(nil), a.Shape[:a.Rank()-2]...), M, N)
+	y := tensor.New(outShape...)
+	for bi := 0; bi < batch; bi++ {
+		am := a.Data[bi*M*K : (bi+1)*M*K]
+		bm := b.Data[bi*K*N : (bi+1)*K*N]
+		ym := y.Data[bi*M*N : (bi+1)*M*N]
+		if transB {
+			// bm is [N, K]
+			matmulT(ym, am, bm, M, K, N)
+		} else {
+			for i := 0; i < M; i++ {
+				ai := am[i*K : (i+1)*K]
+				yi := ym[i*N : (i+1)*N]
+				for j := range yi {
+					yi[j] = 0
+				}
+				for k := 0; k < K; k++ {
+					av := ai[k]
+					bk := bm[k*N : (k+1)*N]
+					for j := range yi {
+						yi[j] += av * bk[j]
+					}
+				}
+			}
+		}
+	}
+	return y
+}
+
+func bqSize(transB bool, k, n int) int { return k * n }

@@ -1,0 +1,50 @@
+package nn
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Summary describes a module tree: parameter counts and per-kind
+// operator census — the information quantization coverage reports and
+// the model-zoo listing are built from.
+type Summary struct {
+	// Params is the total number of weight parameters (biases
+	// excluded, matching the quantized-parameter count).
+	Params int
+	// OpCounts maps operator kind to occurrence count.
+	OpCounts map[string]int
+	// QuantizableOps counts modules that expose a QState.
+	QuantizableOps int
+}
+
+// Summarize walks m and collects its Summary.
+func Summarize(m Module) Summary {
+	s := Summary{OpCounts: map[string]int{}}
+	Walk(m, func(_ string, mod Module) {
+		s.OpCounts[mod.Kind()]++
+		if p, ok := mod.(Parametric); ok {
+			s.Params += p.WeightTensor().Len()
+		}
+		if _, ok := mod.(Quantizable); ok {
+			s.QuantizableOps++
+		}
+	})
+	return s
+}
+
+// String renders the summary as a compact single-line description.
+func (s Summary) String() string {
+	kinds := make([]string, 0, len(s.OpCounts))
+	for k := range s.OpCounts {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	parts := make([]string, 0, len(kinds))
+	for _, k := range kinds {
+		parts = append(parts, fmt.Sprintf("%s×%d", k, s.OpCounts[k]))
+	}
+	return fmt.Sprintf("params=%d quantizable=%d ops=[%s]",
+		s.Params, s.QuantizableOps, strings.Join(parts, " "))
+}

@@ -1,0 +1,39 @@
+package nn
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSummarize(t *testing.T) {
+	seq := NewSequential(NewLinear(4, 8), ReLU{}, NewLinear(8, 2))
+	s := Summarize(seq)
+	if s.Params != 4*8+8*2 {
+		t.Errorf("params = %d, want %d", s.Params, 4*8+8*2)
+	}
+	if s.OpCounts["Linear"] != 2 || s.OpCounts["ReLU"] != 1 {
+		t.Errorf("op counts = %v", s.OpCounts)
+	}
+	if s.QuantizableOps != 2 {
+		t.Errorf("quantizable = %d, want 2", s.QuantizableOps)
+	}
+	str := s.String()
+	if !strings.Contains(str, "Linear×2") || !strings.Contains(str, "params=48") {
+		t.Errorf("summary string = %q", str)
+	}
+}
+
+func TestSummarizeTransformer(t *testing.T) {
+	l := NewTransformerEncoderLayer(8, 2, 16)
+	s := Summarize(l)
+	// 4 attention projections + 2 FFN linears.
+	if s.OpCounts["Linear"] != 6 {
+		t.Errorf("linear count = %d, want 6", s.OpCounts["Linear"])
+	}
+	if s.OpCounts["LayerNorm"] != 2 {
+		t.Errorf("layernorm count = %d", s.OpCounts["LayerNorm"])
+	}
+	if s.OpCounts["BatchMatMul"] != 2 {
+		t.Errorf("bmm count = %d", s.OpCounts["BatchMatMul"])
+	}
+}

@@ -1,0 +1,120 @@
+package quant
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// recipeJSON is the serialized form of a Recipe, with symbolic names
+// instead of iota values so saved recipes stay valid across versions.
+type recipeJSON struct {
+	Act            string          `json:"act"`
+	Wgt            string          `json:"wgt"`
+	Approach       string          `json:"approach"`
+	Calib          string          `json:"calib"`
+	CalibBatches   int             `json:"calib_batches,omitempty"`
+	QuantFirstLast bool            `json:"quant_first_last,omitempty"`
+	ExtendedOps    bool            `json:"extended_ops,omitempty"`
+	SmoothQuant    bool            `json:"smooth_quant,omitempty"`
+	SmoothAlpha    float64         `json:"smooth_alpha,omitempty"`
+	BNCalib        bool            `json:"bn_calib,omitempty"`
+	BNCalibBatches int             `json:"bn_calib_batches,omitempty"`
+	Fallback       map[string]bool `json:"fallback,omitempty"`
+}
+
+// MarshalJSON implements json.Marshaler so tuned recipes can be saved
+// and replayed (the "contribute our recipes" workflow of Section 5).
+func (r Recipe) MarshalJSON() ([]byte, error) {
+	return json.Marshal(recipeJSON{
+		Act:            r.Act.String(),
+		Wgt:            r.Wgt.String(),
+		Approach:       r.Approach.String(),
+		Calib:          r.Calib.String(),
+		CalibBatches:   r.CalibBatches,
+		QuantFirstLast: r.QuantFirstLast,
+		ExtendedOps:    r.ExtendedOps,
+		SmoothQuant:    r.SmoothQuant,
+		SmoothAlpha:    r.SmoothAlpha,
+		BNCalib:        r.BNCalib,
+		BNCalibBatches: r.BNCalibBatches,
+		Fallback:       r.Fallback,
+	})
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (r *Recipe) UnmarshalJSON(data []byte) error {
+	var j recipeJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return err
+	}
+	act, err := parseDType(j.Act)
+	if err != nil {
+		return err
+	}
+	wgt, err := parseDType(j.Wgt)
+	if err != nil {
+		return err
+	}
+	app, err := parseApproach(j.Approach)
+	if err != nil {
+		return err
+	}
+	cal, err := parseCalib(j.Calib)
+	if err != nil {
+		return err
+	}
+	*r = Recipe{
+		Act: act, Wgt: wgt, Approach: app, Calib: cal,
+		CalibBatches:   j.CalibBatches,
+		QuantFirstLast: j.QuantFirstLast,
+		ExtendedOps:    j.ExtendedOps,
+		SmoothQuant:    j.SmoothQuant,
+		SmoothAlpha:    j.SmoothAlpha,
+		BNCalib:        j.BNCalib,
+		BNCalibBatches: j.BNCalibBatches,
+		Fallback:       j.Fallback,
+	}
+	return nil
+}
+
+func parseDType(s string) (DType, error) {
+	switch s {
+	case "FP32", "":
+		return FP32, nil
+	case "E5M2":
+		return E5M2, nil
+	case "E4M3":
+		return E4M3, nil
+	case "E3M4":
+		return E3M4, nil
+	case "INT8":
+		return INT8, nil
+	}
+	return FP32, fmt.Errorf("quant: unknown dtype %q", s)
+}
+
+func parseApproach(s string) (Approach, error) {
+	switch s {
+	case "Static", "":
+		return Static, nil
+	case "Dynamic":
+		return Dynamic, nil
+	case "Direct":
+		return Direct, nil
+	}
+	return Static, fmt.Errorf("quant: unknown approach %q", s)
+}
+
+func parseCalib(s string) (CalibMethod, error) {
+	switch s {
+	case "max", "":
+		return CalibMax, nil
+	case "kl":
+		return CalibKL, nil
+	case "mse":
+		return CalibMSE, nil
+	case "percentile":
+		return CalibPercentile, nil
+	}
+	return CalibMax, fmt.Errorf("quant: unknown calibration method %q", s)
+}

@@ -1,0 +1,66 @@
+package quant
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+func TestRecipeJSONRoundTrip(t *testing.T) {
+	recipes := []Recipe{
+		StandardFP8(E4M3),
+		StandardFP8(E5M2),
+		DynamicFP8(E3M4),
+		MixedFP8().WithExtendedOps().WithSmoothQuant(0.5).WithBNCalib(3),
+		StandardINT8(true).WithFallback("encoder/layer0/ffn/fc1"),
+	}
+	for _, r := range recipes {
+		b, err := json.Marshal(r)
+		if err != nil {
+			t.Fatalf("marshal %s: %v", r.Name(), err)
+		}
+		var back Recipe
+		if err := json.Unmarshal(b, &back); err != nil {
+			t.Fatalf("unmarshal %s: %v", r.Name(), err)
+		}
+		if !reflect.DeepEqual(r, back) {
+			t.Errorf("round trip mismatch:\n  in:  %+v\n  out: %+v\n  json: %s", r, back, b)
+		}
+	}
+}
+
+func TestRecipeJSONSymbolicNames(t *testing.T) {
+	b, _ := json.Marshal(MixedFP8())
+	s := string(b)
+	for _, want := range []string{`"act":"E4M3"`, `"wgt":"E3M4"`, `"approach":"Static"`} {
+		if !contains(s, want) {
+			t.Errorf("json %s missing %s", s, want)
+		}
+	}
+}
+
+func TestRecipeJSONRejectsUnknown(t *testing.T) {
+	var r Recipe
+	if err := json.Unmarshal([]byte(`{"act":"E9M9"}`), &r); err == nil {
+		t.Error("unknown dtype should fail")
+	}
+	if err := json.Unmarshal([]byte(`{"approach":"Quantum"}`), &r); err == nil {
+		t.Error("unknown approach should fail")
+	}
+	if err := json.Unmarshal([]byte(`{"calib":"vibes"}`), &r); err == nil {
+		t.Error("unknown calibration should fail")
+	}
+}
+
+func contains(s, sub string) bool {
+	return indexOf(s, sub) >= 0
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}

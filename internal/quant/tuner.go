@@ -1,0 +1,147 @@
+package quant
+
+import (
+	"sort"
+
+	"fp8quant/internal/data"
+	"fp8quant/internal/nn"
+)
+
+// Trial records one configuration attempt during auto-tuning.
+type Trial struct {
+	Recipe   Recipe
+	Accuracy float64
+	RelLoss  float64
+	Passed   bool
+}
+
+// TuneResult is the outcome of AutoTune.
+type TuneResult struct {
+	// Best is the selected recipe (zero Recipe when nothing passed).
+	Best Recipe
+	// Accuracy is the quantized accuracy under Best.
+	Accuracy float64
+	// Passed reports whether Best met the accuracy goal.
+	Passed bool
+	// Trials lists every configuration evaluated, in order.
+	Trials []Trial
+}
+
+// AutoTune implements the paper's accuracy-driven tuning loop (Figure 2
+// feedback path and Appendix A.1): it tries candidate recipes in order,
+// then falls back operators to FP32 greedily until the accuracy goal
+// (relative loss <= maxRelLoss against baseline) is met or the trial
+// budget is exhausted.
+//
+// eval must measure the model's current accuracy (it is called with the
+// model both quantized and restored). The model is always restored to
+// FP32 before AutoTune returns; callers re-apply the winning recipe
+// with Quantize(m, ds, result.Best).
+func AutoTune(m Model, ds data.Dataset, eval func() float64, baseline float64,
+	candidates []Recipe, maxRelLoss float64, maxTrials int) TuneResult {
+
+	res := TuneResult{}
+	try := func(r Recipe) Trial {
+		h := Quantize(m, ds, r)
+		acc := eval()
+		h.Release()
+		rl := data.RelativeLoss(baseline, acc)
+		t := Trial{Recipe: r, Accuracy: acc, RelLoss: rl, Passed: rl <= maxRelLoss+1e-12}
+		res.Trials = append(res.Trials, t)
+		return t
+	}
+
+	best := Trial{Accuracy: -1}
+	for _, r := range candidates {
+		if len(res.Trials) >= maxTrials {
+			break
+		}
+		t := try(r)
+		if t.Accuracy > best.Accuracy {
+			best = t
+		}
+		if t.Passed {
+			res.Best, res.Accuracy, res.Passed = t.Recipe, t.Accuracy, true
+			return res
+		}
+	}
+	if best.Accuracy < 0 {
+		return res
+	}
+
+	// Greedy operator fallback on the best candidate: repeatedly move
+	// the quantized op whose exclusion recovers the most accuracy to
+	// FP32.
+	current := best
+	paths := fallbackCandidates(m)
+	for len(res.Trials) < maxTrials && !current.Passed && len(paths) > 0 {
+		bestGain := current
+		bestPath := ""
+		for _, p := range paths {
+			if len(res.Trials) >= maxTrials {
+				break
+			}
+			t := try(current.Recipe.WithFallback(p))
+			if t.Accuracy > bestGain.Accuracy {
+				bestGain = t
+				bestPath = p
+			}
+			if t.Passed {
+				bestGain = t
+				bestPath = p
+				break
+			}
+		}
+		if bestPath == "" {
+			break // no single fallback helps further
+		}
+		current = bestGain
+		// Remove the chosen path from future candidates.
+		out := paths[:0]
+		for _, p := range paths {
+			if p != bestPath {
+				out = append(out, p)
+			}
+		}
+		paths = out
+	}
+	res.Best, res.Accuracy, res.Passed = current.Recipe, current.Accuracy, current.Passed
+	return res
+}
+
+// fallbackCandidates lists the parametric op paths of the model in a
+// deterministic order — the search space for greedy FP32 fallback.
+func fallbackCandidates(m Model) []string {
+	var paths []string
+	nn.Walk(m.Root(), func(path string, mod nn.Module) {
+		switch mod.(type) {
+		case *nn.Linear, *nn.Conv2d, *nn.Conv1d, *nn.Embedding, *nn.EmbeddingBag:
+			paths = append(paths, path)
+		}
+	})
+	sort.Strings(paths)
+	return paths
+}
+
+// DefaultCandidates returns the recipe ladder the tuner walks for a
+// given domain, ordered cheapest-first: the paper's recommended format
+// per domain, then alternatives, then mixed formats and dynamic
+// variants.
+func DefaultCandidates(isCNN bool) []Recipe {
+	if isCNN {
+		return []Recipe{
+			StandardFP8(E3M4),
+			StandardFP8(E4M3),
+			DynamicFP8(E3M4),
+			StandardFP8(E5M2),
+		}
+	}
+	return []Recipe{
+		StandardFP8(E4M3),
+		MixedFP8(),
+		DynamicFP8(E4M3),
+		StandardFP8(E3M4),
+		DynamicFP8(E3M4),
+		StandardFP8(E5M2),
+	}
+}

@@ -1,0 +1,171 @@
+package tensor
+
+import (
+	"math"
+	"sort"
+)
+
+// MSE returns the mean squared error between two equal-length slices.
+func MSE(a, b []float32) float64 {
+	if len(a) != len(b) {
+		panic("tensor: MSE length mismatch")
+	}
+	if len(a) == 0 {
+		return 0
+	}
+	s := 0.0
+	for i := range a {
+		d := float64(a[i]) - float64(b[i])
+		s += d * d
+	}
+	return s / float64(len(a))
+}
+
+// MAE returns the mean absolute error between two equal-length slices.
+func MAE(a, b []float32) float64 {
+	if len(a) != len(b) {
+		panic("tensor: MAE length mismatch")
+	}
+	if len(a) == 0 {
+		return 0
+	}
+	s := 0.0
+	for i := range a {
+		s += math.Abs(float64(a[i]) - float64(b[i]))
+	}
+	return s / float64(len(a))
+}
+
+// SQNR returns the signal-to-quantization-noise ratio in dB between a
+// reference signal and its quantized version.
+func SQNR(ref, quant []float32) float64 {
+	var sig, noise float64
+	for i := range ref {
+		s := float64(ref[i])
+		d := s - float64(quant[i])
+		sig += s * s
+		noise += d * d
+	}
+	if noise == 0 {
+		return math.Inf(1)
+	}
+	return 10 * math.Log10(sig/noise)
+}
+
+// Percentile returns the p-th percentile (p in [0,100]) of the data
+// using linear interpolation. The input is not modified.
+func Percentile(data []float32, p float64) float64 {
+	if len(data) == 0 {
+		return 0
+	}
+	s := make([]float64, len(data))
+	for i, v := range data {
+		s[i] = float64(v)
+	}
+	sort.Float64s(s)
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 100 {
+		return s[len(s)-1]
+	}
+	pos := p / 100 * float64(len(s)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(s) {
+		return s[len(s)-1]
+	}
+	return s[lo]*(1-frac) + s[lo+1]*frac
+}
+
+// Histogram is a uniform-bin histogram over [Min, Max].
+type Histogram struct {
+	Min, Max float64
+	Counts   []int
+	Total    int
+}
+
+// NewHistogram builds a histogram of data with the given number of bins
+// spanning [min, max]; values outside are clamped into the edge bins.
+func NewHistogram(data []float32, bins int, min, max float64) *Histogram {
+	if bins <= 0 {
+		panic("tensor: histogram needs at least one bin")
+	}
+	if max <= min {
+		max = min + 1
+	}
+	h := &Histogram{Min: min, Max: max, Counts: make([]int, bins)}
+	w := (max - min) / float64(bins)
+	for _, v := range data {
+		f := float64(v)
+		if math.IsNaN(f) {
+			continue
+		}
+		b := int((f - min) / w)
+		if b < 0 {
+			b = 0
+		}
+		if b >= bins {
+			b = bins - 1
+		}
+		h.Counts[b]++
+		h.Total++
+	}
+	return h
+}
+
+// BinCenter returns the midpoint value of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	w := (h.Max - h.Min) / float64(len(h.Counts))
+	return h.Min + (float64(i)+0.5)*w
+}
+
+// Normalized returns the histogram as a probability distribution.
+func (h *Histogram) Normalized() []float64 {
+	p := make([]float64, len(h.Counts))
+	if h.Total == 0 {
+		return p
+	}
+	for i, c := range h.Counts {
+		p[i] = float64(c) / float64(h.Total)
+	}
+	return p
+}
+
+// KLDivergence computes KL(p || q) over two distributions with the
+// standard smoothing used by TensorRT-style calibration: zero bins in q
+// receive a tiny epsilon so the divergence stays finite.
+func KLDivergence(p, q []float64) float64 {
+	if len(p) != len(q) {
+		panic("tensor: KL length mismatch")
+	}
+	const eps = 1e-12
+	d := 0.0
+	for i := range p {
+		if p[i] <= 0 {
+			continue
+		}
+		qi := q[i]
+		if qi < eps {
+			qi = eps
+		}
+		d += p[i] * math.Log(p[i]/qi)
+	}
+	return d
+}
+
+// CosineSimilarity returns the cosine of the angle between two vectors,
+// used by the auto-tuner to score layer output fidelity cheaply.
+func CosineSimilarity(a, b []float32) float64 {
+	var dot, na, nb float64
+	for i := range a {
+		x, y := float64(a[i]), float64(b[i])
+		dot += x * y
+		na += x * x
+		nb += y * y
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / math.Sqrt(na*nb)
+}

@@ -1,0 +1,128 @@
+package tensor
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestApplyScaleAddInto(t *testing.T) {
+	x := FromSlice([]float32{1, -2, 3}, 3)
+	x.Apply(func(v float32) float32 { return v * v })
+	if x.Data[0] != 1 || x.Data[1] != 4 || x.Data[2] != 9 {
+		t.Errorf("Apply: %v", x.Data)
+	}
+	x.Scale(2)
+	if x.Data[2] != 18 {
+		t.Errorf("Scale: %v", x.Data)
+	}
+	y := FromSlice([]float32{1, 1, 1}, 3)
+	x.AddInto(y)
+	if x.Data[0] != 3 {
+		t.Errorf("AddInto: %v", x.Data)
+	}
+}
+
+func TestAddIntoSizeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	New(3).AddInto(New(4))
+}
+
+func TestStringPreview(t *testing.T) {
+	x := New(2, 3)
+	s := x.String()
+	if !strings.Contains(s, "[2 3]") {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestFillAndZeroStats(t *testing.T) {
+	x := New(4)
+	x.Fill(2.5)
+	if x.Mean() != 2.5 || x.Variance() != 0 || x.Std() != 0 {
+		t.Errorf("constant tensor stats: mean %v var %v", x.Mean(), x.Variance())
+	}
+	empty := &Tensor{Shape: []int{0}, Data: nil}
+	if empty.Mean() != 0 || empty.Variance() != 0 || empty.Kurtosis() != 0 {
+		t.Error("empty tensor stats must be zero")
+	}
+}
+
+func TestMinMaxIgnoresNaN(t *testing.T) {
+	x := FromSlice([]float32{1, float32(math.NaN()), -2}, 3)
+	mn, mx := x.MinMax()
+	if mn != -2 || mx != 1 {
+		t.Errorf("MinMax with NaN: %v %v", mn, mx)
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	r := NewRNG(9)
+	for i := 0; i < 1000; i++ {
+		v := r.Uniform(-2, 5)
+		if v < -2 || v >= 5 {
+			t.Fatalf("Uniform out of range: %v", v)
+		}
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	r := NewRNG(5)
+	c1 := r.Split()
+	c2 := r.Split()
+	if c1.Uint64() == c2.Uint64() {
+		t.Error("split children should differ")
+	}
+}
+
+func TestIntnPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestPercentileEmptyAndSingle(t *testing.T) {
+	if Percentile(nil, 50) != 0 {
+		t.Error("empty percentile should be 0")
+	}
+	if Percentile([]float32{7}, 99) != 7 {
+		t.Error("single-element percentile")
+	}
+}
+
+func TestHistogramBinCenter(t *testing.T) {
+	h := NewHistogram([]float32{0, 1}, 2, 0, 2)
+	if h.BinCenter(0) != 0.5 || h.BinCenter(1) != 1.5 {
+		t.Errorf("bin centers: %v %v", h.BinCenter(0), h.BinCenter(1))
+	}
+}
+
+func TestHistogramDegenerateRange(t *testing.T) {
+	// max <= min gets widened instead of dividing by zero.
+	h := NewHistogram([]float32{1, 1, 1}, 4, 1, 1)
+	if h.Total != 3 {
+		t.Errorf("total = %d", h.Total)
+	}
+}
+
+func TestSQNRZeroNoise(t *testing.T) {
+	if !math.IsInf(SQNR([]float32{1, 2}, []float32{1, 2}), 1) {
+		t.Error("zero noise must be +Inf dB")
+	}
+}
+
+func TestMSEMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	MSE([]float32{1}, []float32{1, 2})
+}
