@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: all build vet fmt fmt-check test bench ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -w .
+
+# Fails if any file needs reformatting.
+fmt-check:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+test:
+	$(GO) test ./...
+
+bench:
+	$(GO) test -run xxx -bench . -benchtime 1x ./...
+
+ci: build vet fmt-check test

@@ -233,6 +233,104 @@ func BenchmarkFirstLastAblation(b *testing.B) {
 	}
 }
 
+// ---- fast codec vs scalar reference (1M-element tensor) ----
+
+// bench1M builds a 1M-element tensor spanning the E4M3 normal and
+// subnormal ranges, the workload quantifying the LUT codec speedup.
+func bench1M() []float32 {
+	src := make([]float32, 1<<20)
+	r := tensor.NewRNG(0xBE1C)
+	for i := range src {
+		src[i] = float32(r.Norm() * 8)
+	}
+	return src
+}
+
+// BenchmarkEncodeScalar is the reference float64 encoder over 1M
+// elements — the baseline BenchmarkEncodeLUT is measured against.
+func BenchmarkEncodeScalar(b *testing.B) {
+	src := bench1M()
+	b.SetBytes(int64(len(src) * 4))
+	b.ResetTimer()
+	var sink uint8
+	for i := 0; i < b.N; i++ {
+		for _, v := range src {
+			sink += fp8.E4M3.Encode(float64(v))
+		}
+	}
+	benchSink = sink
+}
+
+// BenchmarkEncodeLUT is the bit-level fast encoder over the same 1M
+// elements (acceptance target: >= 2x over BenchmarkEncodeScalar).
+func BenchmarkEncodeLUT(b *testing.B) {
+	src := bench1M()
+	c := fp8.E4M3.Codec()
+	b.SetBytes(int64(len(src) * 4))
+	b.ResetTimer()
+	var sink uint8
+	for i := 0; i < b.N; i++ {
+		for _, v := range src {
+			sink += c.Encode(v)
+		}
+	}
+	benchSink = sink
+}
+
+// BenchmarkQuantizeSliceScalar is the scalar quantize-dequantize
+// reference path on a 1M-element tensor.
+func BenchmarkQuantizeSliceScalar(b *testing.B) {
+	src := bench1M()
+	dst := make([]float32, len(src))
+	b.SetBytes(int64(len(src) * 4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fp8.E4M3.QuantizeSliceRef(dst, src)
+	}
+}
+
+// BenchmarkQuantizeSliceFast is the serial LUT-codec path.
+func BenchmarkQuantizeSliceFast(b *testing.B) {
+	src := bench1M()
+	dst := make([]float32, len(src))
+	b.SetBytes(int64(len(src) * 4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fp8.E4M3.QuantizeSlice(dst, src)
+	}
+}
+
+// BenchmarkQuantizeSliceParallel fans the same tensor out over the
+// worker pool (acceptance target: >= 2x over the scalar path).
+func BenchmarkQuantizeSliceParallel(b *testing.B) {
+	src := bench1M()
+	dst := make([]float32, len(src))
+	b.SetBytes(int64(len(src) * 4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fp8.E4M3.QuantizeSliceParallel(dst, src)
+	}
+}
+
+var benchSink uint8
+
+// ---- sweep-engine scaling ----
+
+// benchmarkSweep runs the Table 2 recipe sweep over the reduced model
+// subset at a fixed worker count.
+func benchmarkSweep(b *testing.B, workers int) {
+	harness.SetWorkers(workers)
+	defer harness.SetWorkers(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = harness.Sweep(benchSubset)
+	}
+}
+
+func BenchmarkSweepWorkers1(b *testing.B) { benchmarkSweep(b, 1) }
+func BenchmarkSweepWorkers2(b *testing.B) { benchmarkSweep(b, 2) }
+func BenchmarkSweepWorkersN(b *testing.B) { benchmarkSweep(b, 0) }
+
 // ---- micro-benchmarks for the substrate kernels ----
 
 func BenchmarkE4M3Encode(b *testing.B) {

@@ -5,7 +5,12 @@
 //	fp8bench -list               list available experiment ids
 //	fp8bench -exp table2         run one experiment
 //	fp8bench -exp all            run every experiment (slow)
+//	fp8bench -exp table2 -workers 4   bound the sweep worker pool
 //	fp8bench -models             list the 75-model zoo with metadata
+//
+// Sweep experiments fan their (model, recipe) cells out over a bounded
+// worker pool; -workers defaults to GOMAXPROCS. Results are
+// deterministic for any worker count.
 package main
 
 import (
@@ -22,7 +27,9 @@ func main() {
 	exp := flag.String("exp", "", "experiment id to run (or 'all')")
 	list := flag.Bool("list", false, "list experiment ids")
 	listModels := flag.Bool("models", false, "list the model zoo")
+	workers := flag.Int("workers", 0, "max concurrent sweep cells (0 = GOMAXPROCS)")
 	flag.Parse()
+	harness.SetWorkers(*workers)
 
 	switch {
 	case *list:

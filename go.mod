@@ -1,0 +1,3 @@
+module fp8quant
+
+go 1.21

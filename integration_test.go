@@ -26,7 +26,7 @@ func TestEndToEndPTQAcrossDomains(t *testing.T) {
 		// filter; see DESIGN.md §5).
 		minAcc float64
 	}{
-		{"cifar_resnet20", quant.StandardFP8(quant.E3M4), 0.99}, // CV: E3M4 recommended
+		{"cifar_resnet20", quant.StandardFP8(quant.E3M4), 0.99},  // CV: E3M4 recommended
 		{"distilbert_mrpc", quant.StandardFP8(quant.E4M3), 0.99}, // NLP: E4M3 recommended
 		{"wav2vec2_librispeech", quant.StandardFP8(quant.E3M4), 0.99},
 		{"dlrm_criteo", quant.StandardFP8(quant.E3M4), 0.97},

@@ -259,7 +259,7 @@ func (p *Pipeline) Generate(nImages int) *tensor.Tensor {
 		cond := tensor.New(1, 16)
 		copy(cond.Data, p.Prompts.Data[pi*16:(pi+1)*16])
 		for img := 0; img < nImages; img++ {
-			r := tensor.NewRNG(p.seed ^ (uint64(pi)<<32) ^ uint64(img)*0x9E37)
+			r := tensor.NewRNG(p.seed ^ (uint64(pi) << 32) ^ uint64(img)*0x9E37)
 			x := tensor.New(1, LatentC, LatentH, LatentW)
 			x.FillNormal(r, 0, 1)
 			for step := 0; step < Steps; step++ {

@@ -1,0 +1,171 @@
+// Fast codec: a precomputed 256-entry decode table plus a bit-level
+// float32 encoder, bit-identical to the scalar reference Encode/Decode
+// on every float32 input. Format.Encode/Decode (format.go) stay the
+// reference oracle; the exhaustive equivalence tests in fast_test.go
+// pin the two paths together.
+package fp8
+
+import (
+	"math"
+	"sync"
+
+	"fp8quant/internal/tensor"
+)
+
+// quantGrain is the smallest per-worker chunk of QuantizeSliceParallel;
+// below ~16K elements the goroutine handoff costs more than the encode.
+const quantGrain = 1 << 14
+
+// Codec holds the precomputed tables for one format. Obtain instances
+// via Format.Codec(); they are cached per format and safe for
+// concurrent use.
+type Codec struct {
+	format  Format
+	dec     [256]float32
+	manBits uint
+	bias    int
+	nan     uint8
+	// overMag is the first magnitude (sign-stripped code value, before
+	// clamping to 8 bits) that overflows the finite range; overCode is
+	// what an overflowing encode emits (Inf for IEEE formats, ±max for
+	// extended formats, which also covers a round up onto the extended
+	// NaN pattern).
+	overMag  uint32
+	overCode uint8
+	infCode  uint8
+	// slow marks exotic formats (hand-built bias/width combinations
+	// outside the 8-bit family) that fall back to the scalar encoder.
+	slow bool
+}
+
+var codecCache sync.Map // Format -> *Codec
+
+// Codec returns the cached fast codec for the format, building it on
+// first use.
+func (f Format) Codec() *Codec {
+	if c, ok := codecCache.Load(f); ok {
+		return c.(*Codec)
+	}
+	c, _ := codecCache.LoadOrStore(f, newCodec(f))
+	return c.(*Codec)
+}
+
+func newCodec(f Format) *Codec {
+	c := &Codec{format: f, manBits: f.ManBits, bias: f.Bias, nan: f.NaN()}
+	for i := 0; i < 256; i++ {
+		c.dec[i] = float32(f.Decode(uint8(i)))
+	}
+	if f.IEEE {
+		c.overMag = uint32(f.expField()) << f.ManBits
+		c.overCode = uint8(f.expField()) << f.ManBits
+	} else {
+		c.overMag = 0x7F // the extended NaN pattern and everything above
+		c.overCode = f.maxCode()
+	}
+	c.infCode = c.overCode
+	// The bit-level encoder assumes a normal float32 significand for
+	// any value landing in the format's normal range, true whenever the
+	// format's normal range sits inside float32's (bias <= 126). It
+	// also relies on mantissa parity surviving the implicit-bit offset,
+	// which needs at least one mantissa bit.
+	c.slow = f.ExpBits+f.ManBits != 7 || f.ManBits < 1 || f.Bias > 126
+	return c
+}
+
+// Format returns the format this codec encodes.
+func (c *Codec) Format() Format { return c.format }
+
+// Decode converts an 8-bit code to its float32 value via the lookup
+// table (exact: every representable value fits float32).
+func (c *Codec) Decode(b uint8) float32 { return c.dec[b] }
+
+// Encode converts a float32 to the nearest representable 8-bit code
+// using round-to-nearest-even, operating directly on the IEEE-754 bit
+// pattern. It is bit-identical to Format.Encode(float64(x)).
+func (c *Codec) Encode(x float32) uint8 {
+	if c.slow {
+		return c.format.Encode(float64(x))
+	}
+	bits := math.Float32bits(x)
+	sign := uint8(bits >> 24 & 0x80)
+	mag32 := bits & 0x7FFFFFFF
+	if mag32 >= 0x7F800000 {
+		if mag32 > 0x7F800000 {
+			return c.nan
+		}
+		return sign | c.infCode
+	}
+	if mag32 == 0 {
+		return sign // ±0
+	}
+	e := int(mag32>>23) - 127
+	sig := mag32 & 0x7FFFFF
+	if e == -127 {
+		e = -126 // float32 subnormal: no implicit bit
+	} else {
+		sig |= 1 << 23
+	}
+	rawExp := e + c.bias
+	m := uint(c.manBits)
+	var mag uint32
+	if rawExp >= 1 {
+		// Normal target range. q covers [2^m, 2^(m+1)]; the additive
+		// form folds a mantissa carry straight into the exponent field.
+		q := rneShift(sig, 23-m)
+		mag = uint32(rawExp-1)<<m + q
+	} else {
+		// Subnormal target range: round in units of 2^(1-bias-m). A
+		// carry to 2^m lands exactly on the min-normal code.
+		shift := 24 - int(m) - rawExp // rawExp <= 0, so shift >= 17
+		if shift >= 32 {
+			return sign // underflows to ±0
+		}
+		mag = rneShift(sig, uint(shift))
+	}
+	if mag >= c.overMag {
+		return sign | c.overCode
+	}
+	return sign | uint8(mag)
+}
+
+// rneShift rounds sig right by s bits (1 <= s <= 31) to nearest, ties
+// to even.
+func rneShift(sig uint32, s uint) uint32 {
+	q := sig >> s
+	rem := sig & (1<<s - 1)
+	half := uint32(1) << (s - 1)
+	if rem > half || (rem == half && q&1 == 1) {
+		q++
+	}
+	return q
+}
+
+// Quantize rounds x to the nearest representable value
+// (encode+decode in one step).
+func (c *Codec) Quantize(x float32) float32 { return c.dec[c.Encode(x)] }
+
+// QuantizeSlice applies Quantize element-wise, writing into dst (which
+// may alias src). It returns dst.
+func (c *Codec) QuantizeSlice(dst, src []float32) []float32 {
+	if c.slow {
+		f := c.format
+		for i, v := range src {
+			dst[i] = float32(f.Quantize(float64(v)))
+		}
+		return dst
+	}
+	for i, v := range src {
+		dst[i] = c.dec[c.Encode(v)]
+	}
+	return dst
+}
+
+// QuantizeSliceParallel is QuantizeSlice with the work fanned out in
+// chunks over the shared worker pool. Small slices run inline; results
+// are bit-identical to the serial path regardless of scheduling.
+func (c *Codec) QuantizeSliceParallel(dst, src []float32) []float32 {
+	tensor.ParallelFor(len(src), quantGrain, func(lo, hi int) {
+		c.QuantizeSlice(dst[lo:hi], src[lo:hi])
+	})
+	return dst
+}

@@ -268,8 +268,24 @@ func (f Format) Quantize(x float64) float64 {
 }
 
 // QuantizeSlice applies Quantize element-wise to a float32 slice,
-// writing results into dst (which may alias src). It returns dst.
+// writing results into dst (which may alias src). It returns dst. The
+// work runs through the format's fast codec (see fast.go), which is
+// bit-identical to QuantizeSliceRef.
 func (f Format) QuantizeSlice(dst, src []float32) []float32 {
+	return f.Codec().QuantizeSlice(dst, src)
+}
+
+// QuantizeSliceParallel is QuantizeSlice fanned out over the shared
+// worker pool; large tensors quantize on all cores, small slices run
+// inline. Results are bit-identical to QuantizeSlice.
+func (f Format) QuantizeSliceParallel(dst, src []float32) []float32 {
+	return f.Codec().QuantizeSliceParallel(dst, src)
+}
+
+// QuantizeSliceRef is the scalar float64 reference path, kept as the
+// bit-exactness oracle for the fast codec (and for benchmarks
+// quantifying the codec speedup).
+func (f Format) QuantizeSliceRef(dst, src []float32) []float32 {
 	for i, v := range src {
 		dst[i] = float32(f.Quantize(float64(v)))
 	}

@@ -2,7 +2,7 @@ package harness
 
 import (
 	"fmt"
-	"runtime"
+	"math"
 	"sync"
 
 	"fp8quant/internal/data"
@@ -55,35 +55,16 @@ func sweepAllModels() [][]evalx.Result {
 	return fullSweep.results
 }
 
-// sweepAll evaluates the Table 2 recipe set on the named models in
-// parallel, returning results indexed [model][recipe].
+// sweepAll evaluates the Table 2 recipe set on the named models across
+// the sweep worker pool, returning results indexed [model][recipe].
 func sweepAll(names []string) [][]evalx.Result {
-	all := make([][]evalx.Result, len(names))
-	workers := runtime.NumCPU()
-	if workers > len(names) {
-		workers = len(names)
-	}
-	var wg sync.WaitGroup
-	jobs := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range jobs {
-				net, err := models.Build(names[i])
-				if err != nil {
-					continue
-				}
-				all[i] = evalx.EvaluateRecipes(net, table2Recipes(net), true)
-			}
-		}()
-	}
-	for i := range names {
-		jobs <- i
-	}
-	close(jobs)
-	wg.Wait()
-	return all
+	return collectCells(len(names), func(i int) []evalx.Result {
+		net, err := models.Build(names[i])
+		if err != nil {
+			return nil
+		}
+		return evalx.EvaluateRecipes(net, table2Recipes(net), true)
+	})
 }
 
 func column(all [][]evalx.Result, ri int) []evalx.Result {
@@ -154,10 +135,14 @@ var table3Models = []string{
 func runTable3() *Report {
 	tb := newTable("Model", "Task", "FP32", "E5M2", "E4M3", "E3M4", "INT8")
 	vals := map[string]float64{}
-	for _, name := range table3Models {
-		net, err := models.Build(name)
+	type row struct {
+		task string
+		res  []evalx.Result
+	}
+	rows := collectCells(len(table3Models), func(i int) row {
+		net, err := models.Build(table3Models[i])
 		if err != nil {
-			continue
+			return row{}
 		}
 		recipes := []quant.Recipe{
 			quant.StandardFP8(quant.E5M2),
@@ -165,8 +150,14 @@ func runTable3() *Report {
 			quant.StandardFP8(quant.E3M4),
 			quant.StandardINT8(net.Meta.Domain != models.CV),
 		}
-		res := evalx.EvaluateRecipes(net, recipes, true)
-		tb.add(name, net.Meta.Task, "1.0000",
+		return row{net.Meta.Task, evalx.EvaluateRecipes(net, recipes, true)}
+	})
+	for i, name := range table3Models {
+		res := rows[i].res
+		if len(res) < 4 {
+			continue
+		}
+		tb.add(name, rows[i].task, "1.0000",
 			fmt.Sprintf("%.4f", res[0].QAcc), fmt.Sprintf("%.4f", res[1].QAcc),
 			fmt.Sprintf("%.4f", res[2].QAcc), fmt.Sprintf("%.4f", res[3].QAcc))
 		vals[name+"_E4M3"] = res[1].QAcc
@@ -239,14 +230,16 @@ func runFig7() *Report {
 	}
 	tb := newTable("model", cfgs[0].label, cfgs[1].label, cfgs[2].label, cfgs[3].label)
 	vals := map[string]float64{}
-	for _, name := range fig7Models {
-		net, err := models.Build(name)
+	// One sweep cell per model; the four calibration configs reuse the
+	// cell's model build and FP32 reference.
+	losses := collectCells(len(fig7Models), func(i int) []float64 {
+		net, err := models.Build(fig7Models[i])
 		if err != nil || !net.Meta.HasBN {
-			continue
+			return nil
 		}
 		ref := evalx.ComputeReference(net)
-		row := []string{name}
-		for _, c := range cfgs {
+		out := make([]float64, len(cfgs))
+		for ci, c := range cfgs {
 			// Batches of 16 images -> sample count / 16 BN batches.
 			bnBatches := c.samples / 16
 			if bnBatches < 1 {
@@ -257,7 +250,17 @@ func runFig7() *Report {
 			r := quant.StandardFP8(quant.E4M3)
 			r.CalibBatches = evalx.CalibBatches
 			r = r.WithBNCalib(bnBatches)
-			loss := evaluateBNConfig(net, ds, r, ref)
+			out[ci] = evaluateBNConfig(net, ds, r, ref)
+		}
+		return out
+	})
+	for i, name := range fig7Models {
+		if losses[i] == nil {
+			continue
+		}
+		row := []string{name}
+		for ci, c := range cfgs {
+			loss := losses[i][ci]
 			row = append(row, fmt.Sprintf("%.2f%%", loss*100))
 			vals[name+"_"+c.label] = loss * 100
 		}
@@ -285,10 +288,14 @@ var table5Models = []string{"bert_base_mrpc", "bert_large_rte", "funnel_mrpc", "
 func runTable5() *Report {
 	tb := newTable("Model", "Task", "FP32", "E5M2", "E4M3", "E3M4", "Mixed")
 	vals := map[string]float64{}
-	for _, name := range table5Models {
-		net, err := models.Build(name)
+	type row struct {
+		task string
+		res  []evalx.Result
+	}
+	rows := collectCells(len(table5Models), func(i int) row {
+		net, err := models.Build(table5Models[i])
 		if err != nil {
-			continue
+			return row{}
 		}
 		recipes := []quant.Recipe{
 			quant.StandardFP8(quant.E5M2),
@@ -296,8 +303,14 @@ func runTable5() *Report {
 			quant.StandardFP8(quant.E3M4),
 			quant.MixedFP8(),
 		}
-		res := evalx.EvaluateRecipes(net, recipes, true)
-		tb.add(name, net.Meta.Task, "1.0000",
+		return row{net.Meta.Task, evalx.EvaluateRecipes(net, recipes, true)}
+	})
+	for i, name := range table5Models {
+		res := rows[i].res
+		if len(res) < 4 {
+			continue
+		}
+		tb.add(name, rows[i].task, "1.0000",
 			fmt.Sprintf("%.4f", res[0].QAcc), fmt.Sprintf("%.4f", res[1].QAcc),
 			fmt.Sprintf("%.4f", res[2].QAcc), fmt.Sprintf("%.4f", res[3].QAcc))
 		vals[name+"_E5M2"] = res[0].QAcc
@@ -326,15 +339,21 @@ var table6Cases = []struct {
 func runTable6() *Report {
 	tb := newTable("Model", "FP8 Format", "Dynamic", "Static", "Improvement")
 	vals := map[string]float64{}
-	for _, c := range table6Cases {
-		net, err := models.Build(c.model)
+	rows := collectCells(len(table6Cases), func(i int) []evalx.Result {
+		net, err := models.Build(table6Cases[i].model)
 		if err != nil {
+			return nil
+		}
+		return evalx.EvaluateRecipes(net, []quant.Recipe{
+			quant.DynamicFP8(table6Cases[i].format),
+			quant.StandardFP8(table6Cases[i].format),
+		}, true)
+	})
+	for i, c := range table6Cases {
+		res := rows[i]
+		if len(res) < 2 {
 			continue
 		}
-		res := evalx.EvaluateRecipes(net, []quant.Recipe{
-			quant.DynamicFP8(c.format),
-			quant.StandardFP8(c.format),
-		}, true)
 		dyn, st := res[0].QAcc, res[1].QAcc
 		tb.add(c.model, c.format.String(),
 			fmt.Sprintf("%.4f", dyn), fmt.Sprintf("%.4f", st),
@@ -352,59 +371,79 @@ func runTable6() *Report {
 func runFig9() *Report {
 	vals := map[string]float64{}
 	tb := newTable("domain", "recipe", "format", "mean loss", "std", "max")
-	// CV: standard ops vs also quantizing first/last operators.
+	// Each group is one table row: a (domain, format, coverage) triple
+	// averaged over 12 models. Cells are the individual (group, model)
+	// evaluations, fanned out over the sweep pool; per-cell losses land
+	// in fixed slots so the aggregation below is order-independent.
+	type group struct {
+		domain  string
+		format  quant.DType
+		altOps  bool // CV: +first/last; NLP: extended coverage
+		names   []string
+		label   string
+		valsKey string
+	}
 	cvNames := models.NamesByDomain(models.CV)[:12]
+	nlpNames := models.NamesByDomain(models.NLP)[:12]
+	var groups []group
 	for _, f := range []quant.DType{quant.E5M2, quant.E4M3, quant.E3M4} {
-		for _, firstLast := range []bool{false, true} {
-			var losses []float64
-			for _, name := range cvNames {
-				net, err := models.Build(name)
-				if err != nil {
-					continue
-				}
-				r := quant.StandardFP8(f)
-				if firstLast {
-					r = r.WithFirstLast()
-				}
-				res := evalx.Evaluate(net, r, true)
-				losses = append(losses, res.RelLoss*100)
-			}
-			s := evalx.ComputeLossStats(losses)
+		for _, alt := range []bool{false, true} {
 			label := "Conv,Linear"
-			if firstLast {
+			if alt {
 				label = "Conv,Linear -1st&LastOps"
 			}
-			tb.add("CV", label, f.String(), fmt.Sprintf("%.2f%%", s.Mean),
-				fmt.Sprintf("%.2f", s.Std), fmt.Sprintf("%.2f%%", s.Max))
-			vals[fmt.Sprintf("cv_%s_firstlast_%v", f, firstLast)] = s.Mean
+			groups = append(groups, group{"CV", f, alt, cvNames, label,
+				fmt.Sprintf("cv_%s_firstlast_%v", f, alt)})
 		}
 	}
-	// NLP: standard ops vs extended coverage (+BMM/MM/Emb/LayerNorm).
-	nlpNames := models.NamesByDomain(models.NLP)[:12]
 	for _, f := range []quant.DType{quant.E5M2, quant.E4M3, quant.E3M4} {
-		for _, extended := range []bool{false, true} {
-			var losses []float64
-			for _, name := range nlpNames {
-				net, err := models.Build(name)
-				if err != nil {
-					continue
-				}
-				r := quant.StandardFP8(f)
-				if extended {
-					r = r.WithExtendedOps()
-				}
-				res := evalx.Evaluate(net, r, true)
-				losses = append(losses, res.RelLoss*100)
-			}
-			s := evalx.ComputeLossStats(losses)
+		for _, alt := range []bool{false, true} {
 			label := "Linear"
-			if extended {
+			if alt {
 				label = "Linear +BMM,MM,Emb,LayerNorm"
 			}
-			tb.add("NLP", label, f.String(), fmt.Sprintf("%.2f%%", s.Mean),
-				fmt.Sprintf("%.2f", s.Std), fmt.Sprintf("%.2f%%", s.Max))
-			vals[fmt.Sprintf("nlp_%s_extended_%v", f, extended)] = s.Mean
+			groups = append(groups, group{"NLP", f, alt, nlpNames, label,
+				fmt.Sprintf("nlp_%s_extended_%v", f, alt)})
 		}
+	}
+	type cellID struct{ gi, mi int }
+	var cells []cellID
+	losses := make([][]float64, len(groups))
+	for gi, g := range groups {
+		losses[gi] = make([]float64, len(g.names))
+		for mi := range g.names {
+			cells = append(cells, cellID{gi, mi})
+		}
+	}
+	forEachCell(len(cells), func(k int) {
+		gi, mi := cells[k].gi, cells[k].mi
+		g := groups[gi]
+		losses[gi][mi] = math.NaN()
+		net, err := models.Build(g.names[mi])
+		if err != nil {
+			return
+		}
+		r := quant.StandardFP8(g.format)
+		if g.altOps {
+			if g.domain == "CV" {
+				r = r.WithFirstLast()
+			} else {
+				r = r.WithExtendedOps()
+			}
+		}
+		losses[gi][mi] = evalx.Evaluate(net, r, true).RelLoss * 100
+	})
+	for gi, g := range groups {
+		var ok []float64
+		for _, l := range losses[gi] {
+			if !math.IsNaN(l) {
+				ok = append(ok, l)
+			}
+		}
+		s := evalx.ComputeLossStats(ok)
+		tb.add(g.domain, g.label, g.format.String(), fmt.Sprintf("%.2f%%", s.Mean),
+			fmt.Sprintf("%.2f", s.Std), fmt.Sprintf("%.2f%%", s.Max))
+		vals[g.valsKey] = s.Mean
 	}
 	return &Report{
 		Text: "Figure 9 reproduction: accuracy impact of extended quantization recipes\n" +
@@ -416,30 +455,47 @@ func runFig9() *Report {
 func runFirstLast() *Report {
 	// Section 4.3.1: pass-rate drop when quantizing first and last
 	// operators of CNNs.
-	names := models.NamesByDomain(models.CV)
+	var cnns []string
+	for _, name := range models.NamesByDomain(models.CV) {
+		if info, _ := models.InfoFor(name); info.IsCNN {
+			cnns = append(cnns, name)
+		}
+	}
+	formats := []quant.DType{quant.E5M2, quant.E4M3, quant.E3M4}
+	// One cell per (format, CNN): both recipes share the cell's model
+	// build. passes[fi][mi] = {std pass, first/last pass} or nil.
+	passes := make([][][2]bool, len(formats))
+	valid := make([][]bool, len(formats))
+	for fi := range formats {
+		passes[fi] = make([][2]bool, len(cnns))
+		valid[fi] = make([]bool, len(cnns))
+	}
+	forEachCell(len(formats)*len(cnns), func(k int) {
+		fi, mi := k/len(cnns), k%len(cnns)
+		net, err := models.Build(cnns[mi])
+		if err != nil {
+			return
+		}
+		res := evalx.EvaluateRecipes(net, []quant.Recipe{
+			quant.StandardFP8(formats[fi]),
+			quant.StandardFP8(formats[fi]).WithFirstLast(),
+		}, true)
+		passes[fi][mi] = [2]bool{res[0].Pass, res[1].Pass}
+		valid[fi][mi] = true
+	})
 	tb := newTable("format", "pass rate (std)", "pass rate (+first/last)", "drop")
 	vals := map[string]float64{}
-	for _, f := range []quant.DType{quant.E5M2, quant.E4M3, quant.E3M4} {
-		var std, fl int
-		total := 0
-		for _, name := range names {
-			info, _ := models.InfoFor(name)
-			if !info.IsCNN {
+	for fi, f := range formats {
+		var std, fl, total int
+		for mi := range cnns {
+			if !valid[fi][mi] {
 				continue
 			}
-			net, err := models.Build(name)
-			if err != nil {
-				continue
-			}
-			res := evalx.EvaluateRecipes(net, []quant.Recipe{
-				quant.StandardFP8(f),
-				quant.StandardFP8(f).WithFirstLast(),
-			}, true)
 			total++
-			if res[0].Pass {
+			if passes[fi][mi][0] {
 				std++
 			}
-			if res[1].Pass {
+			if passes[fi][mi][1] {
 				fl++
 			}
 		}

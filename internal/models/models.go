@@ -330,4 +330,3 @@ func spikeGammas(gamma []float32, r *tensor.RNG, nSpikes int, ratio float64) {
 		gamma[j] = float32(s)
 	}
 }
-

@@ -36,7 +36,7 @@ func (u *unetNet) Visit(path string, v nn.Visitor) {
 // [N*H*W, classes] so the standard argmax-agreement evaluation applies
 // per pixel.
 func (u *unetNet) Forward(x *tensor.Tensor) *tensor.Tensor {
-	e1 := u.Enc1.Forward(x)          // [N, c1, H, W]
+	e1 := u.Enc1.Forward(x)                  // [N, c1, H, W]
 	e2 := u.Enc2.Forward(u.Pool.Forward(e1)) // [N, c2, H/2, W/2]
 	b := u.Bottleneck.Forward(e2)
 	d := u.Up.Forward(b) // back to [.., H, W]

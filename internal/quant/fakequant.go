@@ -16,11 +16,12 @@ func StaticFP8Func(f fp8.Format, threshold float64) nn.QuantFunc {
 		// Degenerate all-zero tensor: identity.
 		return func(dst, src []float32) { copy(dst, src) }
 	}
+	c := f.Codec()
 	scale := float32(f.MaxValue() / threshold)
 	inv := 1 / scale
 	return func(dst, src []float32) {
 		for i, v := range src {
-			dst[i] = float32(f.Quantize(float64(v*scale))) * inv
+			dst[i] = c.Quantize(v*scale) * inv
 		}
 	}
 }
@@ -29,16 +30,16 @@ func StaticFP8Func(f fp8.Format, threshold float64) nn.QuantFunc {
 // scaling — the E5M2 "Direct" approach, viable because its dynamic
 // range covers typical activations outright.
 func DirectFP8Func(f fp8.Format) nn.QuantFunc {
+	c := f.Codec()
 	return func(dst, src []float32) {
-		for i, v := range src {
-			dst[i] = float32(f.Quantize(float64(v)))
-		}
+		c.QuantizeSlice(dst, src)
 	}
 }
 
 // DynamicFP8Func returns a QuantFunc that recomputes the absmax scale
 // on every call (dynamic quantization).
 func DynamicFP8Func(f fp8.Format) nn.QuantFunc {
+	c := f.Codec()
 	return func(dst, src []float32) {
 		am := 0.0
 		for _, v := range src {
@@ -54,7 +55,7 @@ func DynamicFP8Func(f fp8.Format) nn.QuantFunc {
 		scale := float32(f.MaxValue() / am)
 		inv := 1 / scale
 		for i, v := range src {
-			dst[i] = float32(f.Quantize(float64(v*scale))) * inv
+			dst[i] = c.Quantize(v*scale) * inv
 		}
 	}
 }
@@ -121,25 +122,29 @@ func QuantizeWeightPerChannel(w *tensor.Tensor, dim int, d DType) []float32 {
 	absmax := ChannelAbsMax(w, dim)
 	out := w.Shape[0]
 	per := w.Len() / out
+	var codec *fp8.Codec
+	var fmax float64
+	if d != INT8 {
+		codec = d.Format().Codec()
+		fmax = d.Format().MaxValue()
+	}
 	for c := 0; c < out; c++ {
 		seg := w.Data[c*per : (c+1)*per]
 		am := absmax[c]
 		if am == 0 {
 			continue
 		}
-		switch d {
-		case INT8:
+		if d == INT8 {
 			q := fp8.NewInt8Symmetric(am)
 			for i, v := range seg {
 				seg[i] = float32(q.Quantize(float64(v)))
 			}
-		default:
-			f := d.Format()
-			scale := float32(f.MaxValue() / am)
-			inv := 1 / scale
-			for i, v := range seg {
-				seg[i] = float32(f.Quantize(float64(v*scale))) * inv
-			}
+			continue
+		}
+		scale := float32(fmax / am)
+		inv := 1 / scale
+		for i, v := range seg {
+			seg[i] = codec.Quantize(v*scale) * inv
 		}
 	}
 	return master
@@ -162,11 +167,11 @@ func QuantizeWeightPerTensor(w *tensor.Tensor, d DType) []float32 {
 		q := fp8.NewInt8Symmetric(am)
 		q.QuantizeSlice(w.Data, w.Data)
 	default:
-		f := d.Format()
-		scale := float32(f.MaxValue() / am)
+		c := d.Format().Codec()
+		scale := float32(c.Format().MaxValue() / am)
 		inv := 1 / scale
 		for i, v := range w.Data {
-			w.Data[i] = float32(f.Quantize(float64(v*scale))) * inv
+			w.Data[i] = c.Quantize(v*scale) * inv
 		}
 	}
 	return master

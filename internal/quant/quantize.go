@@ -458,9 +458,10 @@ func composeSmooth(s []float64, fn nn.QuantFunc) nn.QuantFunc {
 }
 
 // quantizeWeightDirect rounds weights straight to the FP8 grid with no
-// scaling (the E5M2 Direct path), returning the restore copy.
+// scaling (the E5M2 Direct path), returning the restore copy. Large
+// tensors quantize across all cores through the fast codec.
 func quantizeWeightDirect(w *tensor.Tensor, f fp8.Format) []float32 {
 	master := append([]float32(nil), w.Data...)
-	f.QuantizeSlice(w.Data, w.Data)
+	f.QuantizeSliceParallel(w.Data, w.Data)
 	return master
 }

@@ -1,0 +1,111 @@
+package tensor
+
+import (
+	"runtime"
+	"sync"
+)
+
+// parallelJob is one contiguous chunk of a ParallelFor call. Jobs are
+// recycled through a sync.Pool so steady-state quantization sweeps do
+// not allocate per chunk.
+type parallelJob struct {
+	body   func(lo, hi int)
+	lo, hi int
+	wg     *sync.WaitGroup
+}
+
+var (
+	poolOnce sync.Once
+	poolJobs chan *parallelJob
+	jobPool  = sync.Pool{New: func() interface{} { return new(parallelJob) }}
+)
+
+// startPool lazily spins up the shared worker pool, sized to
+// GOMAXPROCS. The goroutines live for the process lifetime; they block
+// on the job channel when idle and cost nothing.
+func startPool() {
+	n := runtime.GOMAXPROCS(0)
+	poolJobs = make(chan *parallelJob, 2*n)
+	for i := 0; i < n; i++ {
+		go func() {
+			for j := range poolJobs {
+				runJob(j)
+			}
+		}()
+	}
+}
+
+// runJob executes one queued chunk and recycles its descriptor.
+func runJob(j *parallelJob) {
+	j.body(j.lo, j.hi)
+	wg := j.wg
+	*j = parallelJob{}
+	jobPool.Put(j)
+	wg.Done()
+}
+
+// ParallelFor runs body over contiguous sub-ranges of [0, n) using a
+// shared worker pool. minGrain bounds the smallest chunk handed to a
+// worker: when n <= minGrain (or the pool brings no parallelism) the
+// body runs inline on the calling goroutine. Chunks are disjoint, so
+// bodies writing to per-index slots need no locking, and the result is
+// independent of the execution order. Nested calls are deadlock-free:
+// submission never blocks (overflow chunks run inline) and a waiting
+// caller helps drain the queue, so pool workers blocked inside an
+// inner ParallelFor still make progress.
+func ParallelFor(n, minGrain int, body func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if minGrain < 1 {
+		minGrain = 1
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if n <= minGrain || workers <= 1 {
+		body(0, n)
+		return
+	}
+	poolOnce.Do(startPool)
+	// Aim for a few chunks per worker for load balancing, but never
+	// below the grain.
+	chunk := (n + 4*workers - 1) / (4 * workers)
+	if chunk < minGrain {
+		chunk = minGrain
+	}
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if hi == n {
+			// Run the final chunk inline instead of idling.
+			body(lo, hi)
+			break
+		}
+		j := jobPool.Get().(*parallelJob)
+		j.body, j.lo, j.hi, j.wg = body, lo, hi, &wg
+		wg.Add(1)
+		select {
+		case poolJobs <- j:
+		default:
+			// Pool saturated: do the work here rather than block.
+			*j = parallelJob{}
+			jobPool.Put(j)
+			body(lo, hi)
+			wg.Done()
+		}
+	}
+	// Help drain the queue while waiting. Without this, pool workers
+	// whose bodies call ParallelFor themselves could all park in an
+	// inner wait with the queued chunks left for nobody to run.
+	for {
+		select {
+		case j := <-poolJobs:
+			runJob(j)
+		default:
+			wg.Wait()
+			return
+		}
+	}
+}

@@ -1,0 +1,66 @@
+package tensor
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestParallelForCoversRangeOnce(t *testing.T) {
+	for _, n := range []int{0, 1, 100, 1 << 14, 1<<17 + 13} {
+		hits := make([]int32, n)
+		ParallelFor(n, 64, func(lo, hi int) {
+			if lo < 0 || hi > n || lo > hi {
+				t.Errorf("bad chunk [%d,%d) for n=%d", lo, hi, n)
+			}
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&hits[i], 1)
+			}
+		})
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("n=%d: index %d visited %d times", n, i, h)
+			}
+		}
+	}
+}
+
+func TestParallelForInlineBelowGrain(t *testing.T) {
+	calls := 0
+	ParallelFor(100, 1000, func(lo, hi int) {
+		calls++
+		if lo != 0 || hi != 100 {
+			t.Errorf("expected one inline chunk, got [%d,%d)", lo, hi)
+		}
+	})
+	if calls != 1 {
+		t.Errorf("small n should run as a single inline chunk, got %d calls", calls)
+	}
+}
+
+func TestParallelForNested(t *testing.T) {
+	// Nested ParallelFor must not deadlock (inner calls may run on pool
+	// workers; saturated submissions fall back to inline execution).
+	n := 1 << 16
+	sum := make([]int64, 8)
+	ParallelFor(8, 1, func(lo, hi int) {
+		for w := lo; w < hi; w++ {
+			var local int64
+			var mu atomic.Int64
+			ParallelFor(n, 1<<12, func(l, h int) {
+				var s int64
+				for i := l; i < h; i++ {
+					s += int64(i)
+				}
+				mu.Add(s)
+			})
+			local = mu.Load()
+			sum[w] = local
+		}
+	})
+	want := int64(n) * int64(n-1) / 2
+	for w, s := range sum {
+		if s != want {
+			t.Fatalf("nested worker %d: sum %d want %d", w, s, want)
+		}
+	}
+}

@@ -105,8 +105,6 @@ func Greedy(m LM, prompt []int, maxNew int) []int {
 	return toks[len(prompt):]
 }
 
-
-
 // logSoftmax returns log-probabilities of a logit row.
 func logSoftmax(row []float32) []float64 {
 	maxV := row[0]
