@@ -11,16 +11,24 @@
 // Sweep experiments fan their (model, recipe) cells out over a bounded
 // worker pool; -workers defaults to GOMAXPROCS. Results are
 // deterministic for any worker count.
+//
+// Sweep grids are also persisted to a content-addressed result store
+// (-cache-dir, default ~/.cache/fp8bench), so a repeated invocation
+// reuses the stored grid instead of recomputing the sweep and prints an
+// identical report. -no-cache disables the store; each experiment
+// footer reports its cache traffic.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"time"
 
 	"fp8quant/internal/harness"
 	"fp8quant/internal/models"
+	"fp8quant/internal/resultstore"
 )
 
 func main() {
@@ -28,8 +36,18 @@ func main() {
 	list := flag.Bool("list", false, "list experiment ids")
 	listModels := flag.Bool("models", false, "list the model zoo")
 	workers := flag.Int("workers", 0, "max concurrent sweep cells (0 = GOMAXPROCS)")
+	cacheDir := flag.String("cache-dir", defaultCacheDir(), "persistent result-store directory ('' = disabled)")
+	noCache := flag.Bool("no-cache", false, "disable the persistent result store")
 	flag.Parse()
 	harness.SetWorkers(*workers)
+	if !*noCache && *cacheDir != "" {
+		s, err := resultstore.Open(*cacheDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "warning: result store disabled: %v\n", err)
+		} else {
+			harness.SetStore(s)
+		}
+	}
 
 	switch {
 	case *list:
@@ -62,11 +80,29 @@ func main() {
 	}
 }
 
+// defaultCacheDir resolves ~/.cache/fp8bench (per XDG on Linux); an
+// unresolvable home directory falls back to a local cache dir.
+func defaultCacheDir() string {
+	base, err := os.UserCacheDir()
+	if err != nil {
+		return ".fp8bench-cache"
+	}
+	return filepath.Join(base, "fp8bench")
+}
+
 func runOne(id string) {
 	e, _ := harness.Get(id)
 	fmt.Printf("=== %s — %s ===\n", e.ID, e.Title)
+	s := harness.Store()
+	before := s.Stats()
 	t0 := time.Now()
 	rep := e.Run()
 	fmt.Println(rep.Text)
-	fmt.Printf("(%s finished in %.1fs)\n\n", id, time.Since(t0).Seconds())
+	fmt.Printf("(%s finished in %.1fs)\n", id, time.Since(t0).Seconds())
+	if s != nil {
+		d := s.Stats()
+		fmt.Printf("(result store %s: %d hits, %d misses, %d writes)\n",
+			s.Dir(), d.Hits-before.Hits, d.Misses-before.Misses, d.Writes-before.Writes)
+	}
+	fmt.Println()
 }

@@ -169,3 +169,84 @@ func (c *Codec) QuantizeSliceParallel(dst, src []float32) []float32 {
 	})
 	return dst
 }
+
+// rescaleMin is the slice length above which QuantizeScaledSlice
+// amortizes a 256-entry rescaled decode table; below it the table
+// build costs more than the per-element multiply it saves.
+const rescaleMin = 256
+
+// QuantizeScaledSlice is the fused static fake-quant kernel: it
+// computes dst[i] = Decode(Encode(src[i]*scale)) * inv in a single
+// pass, writing into dst (which may alias src) and returning it. For
+// slices past rescaleMin the rescale is folded into a stack-local
+// decode table (tbl[j] = Decode(j)*inv) and the bit-level encoder is
+// inlined into the loop, eliminating both the per-element multiply
+// round trip and the per-element call. Results are bit-identical to
+// the unfused Quantize(v*scale)*inv expression on every input (the
+// fast_test equivalence suite pins the inlined encoder to Encode).
+func (c *Codec) QuantizeScaledSlice(dst, src []float32, scale, inv float32) []float32 {
+	if c.slow {
+		f := c.format
+		for i, v := range src {
+			dst[i] = float32(f.Quantize(float64(v*scale))) * inv
+		}
+		return dst
+	}
+	if len(src) < rescaleMin {
+		for i, v := range src {
+			dst[i] = c.dec[c.Encode(v*scale)] * inv
+		}
+		return dst
+	}
+	var tbl [256]float32
+	for j, d := range c.dec {
+		tbl[j] = d * inv
+	}
+	m := c.manBits
+	bias := c.bias
+	nanCode := c.nan
+	overMag, overCode, infCode := c.overMag, c.overCode, c.infCode
+	// The loop body mirrors Codec.Encode exactly (see the comments
+	// there); duplicated here because Go will not inline Encode and the
+	// call is the dominant per-element cost.
+	for i, v := range src {
+		bits := math.Float32bits(v * scale)
+		sign := uint8(bits >> 24 & 0x80)
+		mag32 := bits & 0x7FFFFFFF
+		var code uint8
+		switch {
+		case mag32 >= 0x7F800000:
+			if mag32 > 0x7F800000 {
+				code = nanCode
+			} else {
+				code = sign | infCode
+			}
+		case mag32 == 0:
+			code = sign
+		default:
+			e := int(mag32>>23) - 127
+			sig := mag32 & 0x7FFFFF
+			if e == -127 {
+				e = -126
+			} else {
+				sig |= 1 << 23
+			}
+			rawExp := e + bias
+			var mag uint32
+			if rawExp >= 1 {
+				mag = uint32(rawExp-1)<<m + rneShift(sig, 23-m)
+			} else if shift := 24 - int(m) - rawExp; shift >= 32 {
+				mag = 0 // underflows to ±0
+			} else {
+				mag = rneShift(sig, uint(shift))
+			}
+			if mag >= overMag {
+				code = sign | overCode
+			} else {
+				code = sign | uint8(mag)
+			}
+		}
+		dst[i] = tbl[code]
+	}
+	return dst
+}

@@ -215,6 +215,77 @@ func TestQuantizeSliceParallelMatchesSerial(t *testing.T) {
 	}
 }
 
+// TestQuantizeScaledSliceMatchesUnfused pins the fused
+// scale→quantize→rescale kernel to the unfused per-element expression
+// Quantize(v*scale)*inv bit-for-bit, across sizes on both sides of the
+// rescale-table threshold, every test format (slow fallbacks included),
+// and in-place aliasing.
+func TestQuantizeScaledSliceMatchesUnfused(t *testing.T) {
+	for _, f := range testFormats(t) {
+		c := f.Codec()
+		threshold := 3.7
+		scale := float32(f.MaxValue() / threshold)
+		inv := 1 / scale
+		for _, n := range []int{0, 1, 8, rescaleMin - 1, rescaleMin, rescaleMin + 3, 4096} {
+			src := mixedTestSlice(max(n, 8), f)[:n]
+			want := make([]float32, n)
+			for i, v := range src {
+				want[i] = c.Quantize(v*scale) * inv
+			}
+			got := c.QuantizeScaledSlice(make([]float32, n), src, scale, inv)
+			for i := range src {
+				if !sameFloat32(got[i], want[i]) {
+					t.Fatalf("%s n=%d: fused[%d]=%v (in %v) != unfused %v",
+						f, n, i, got[i], src[i], want[i])
+				}
+			}
+			inPlace := append([]float32(nil), src...)
+			c.QuantizeScaledSlice(inPlace, inPlace, scale, inv)
+			for i := range inPlace {
+				if !sameFloat32(inPlace[i], want[i]) {
+					t.Fatalf("%s n=%d: in-place fused[%d]=%v != unfused %v",
+						f, n, i, inPlace[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// The fused-vs-unfused pair quantifies the QuantizeScaledSlice win on a
+// static-fake-quant-sized activation slice (run with -bench to compare;
+// the fused path folds the rescale into the decode table).
+func benchScaledSrc() ([]float32, []float32, float32, float32) {
+	src := make([]float32, 1<<14)
+	r := tensor.NewRNG(0xF05E)
+	for i := range src {
+		src[i] = float32(r.Norm() * 2)
+	}
+	scale := float32(E4M3.MaxValue() / 4.0)
+	return src, make([]float32, len(src)), scale, 1 / scale
+}
+
+func BenchmarkQuantizeScaledSliceFused(b *testing.B) {
+	src, dst, scale, inv := benchScaledSrc()
+	c := E4M3.Codec()
+	b.SetBytes(int64(len(src) * 4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.QuantizeScaledSlice(dst, src, scale, inv)
+	}
+}
+
+func BenchmarkQuantizeScaledSliceUnfused(b *testing.B) {
+	src, dst, scale, inv := benchScaledSrc()
+	c := E4M3.Codec()
+	b.SetBytes(int64(len(src) * 4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j, v := range src {
+			dst[j] = c.Quantize(v*scale) * inv
+		}
+	}
+}
+
 // TestCodecCached checks the per-format cache returns one instance.
 func TestCodecCached(t *testing.T) {
 	if E4M3.Codec() != E4M3.Codec() {

@@ -1,0 +1,81 @@
+// Result caching: sweep grids are memoized per process (table2, fig4
+// and fig5 all consume the same 75-model sweep) and, when a store is
+// configured, persisted to disk so later fp8bench invocations reuse
+// them across processes. Cache entries are keyed by content address —
+// experiment id, model set, recipe set, seed and schema version — so a
+// stale store can only miss, never corrupt a report.
+
+package harness
+
+import (
+	"fmt"
+	"os"
+	"sync"
+
+	"fp8quant/internal/evalx"
+	"fp8quant/internal/resultstore"
+)
+
+var (
+	cacheMu sync.Mutex
+	// store is the optional disk-backed result store (nil = disabled).
+	store *resultstore.Store
+	// memo is the in-process grid cache, keyed by key fingerprint.
+	memo = map[string][][]evalx.Result{}
+)
+
+// SetStore installs (or, with nil, removes) the persistent result
+// store consulted by sweep experiments. Call before running
+// experiments; grids already memoized in-process are kept.
+func SetStore(s *resultstore.Store) {
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	store = s
+}
+
+// Store returns the configured persistent result store (nil if none).
+func Store() *resultstore.Store {
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	return store
+}
+
+// ClearMemo drops the in-process grid cache (the disk store is
+// untouched). Tests use it to force store round trips; long-lived
+// embedders can use it to release sweep memory.
+func ClearMemo() {
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	memo = map[string][][]evalx.Result{}
+}
+
+// cachedGrid returns the grid for the key, trying the in-process memo,
+// then the disk store, then computing it (and persisting the result).
+// Concurrent callers with the same key may compute twice; both arrive
+// at identical grids, so last-write-wins is safe.
+func cachedGrid(k resultstore.Key, compute func() [][]evalx.Result) [][]evalx.Result {
+	fp := k.Fingerprint()
+	cacheMu.Lock()
+	g, ok := memo[fp]
+	s := store
+	cacheMu.Unlock()
+	if ok {
+		return g
+	}
+	if g, ok := s.LoadGrid(k); ok {
+		cacheMu.Lock()
+		memo[fp] = g
+		cacheMu.Unlock()
+		return g
+	}
+	g = compute()
+	if err := s.SaveGrid(k, g); err != nil {
+		// A failed persist (full/unwritable cache dir) must not go
+		// unnoticed: without it every invocation repays the full sweep.
+		fmt.Fprintf(os.Stderr, "warning: result store write failed: %v\n", err)
+	}
+	cacheMu.Lock()
+	memo[fp] = g
+	cacheMu.Unlock()
+	return g
+}

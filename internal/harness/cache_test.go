@@ -1,0 +1,104 @@
+package harness
+
+import (
+	"testing"
+
+	"fp8quant/internal/evalx"
+	"fp8quant/internal/models"
+	"fp8quant/internal/resultstore"
+)
+
+// withCleanCache isolates a test from the package-level cache state.
+func withCleanCache(t *testing.T) {
+	t.Helper()
+	ClearMemo()
+	t.Cleanup(func() {
+		SetStore(nil)
+		ClearMemo()
+	})
+}
+
+func cacheTestKey() resultstore.Key {
+	return resultstore.Key{
+		Experiment: "cache-test",
+		Models:     []string{"m1", "m2"},
+		Recipes:    []string{"r1"},
+		Schema:     resultstore.SchemaVersion,
+	}
+}
+
+func cacheTestGrid() [][]evalx.Result {
+	return [][]evalx.Result{
+		{{Model: "m1", Domain: models.CV, Recipe: "r1", BaseAcc: 1, QAcc: 0.993, RelLoss: 0.007, Pass: true}},
+		{{Model: "m2", Domain: models.NLP, Recipe: "r1", BaseAcc: 1, QAcc: 0.9, RelLoss: 0.1}},
+	}
+}
+
+// TestCachedGridMemoizes checks the in-process layer: the second call
+// with the same key must not recompute, with or without a disk store.
+func TestCachedGridMemoizes(t *testing.T) {
+	withCleanCache(t)
+	SetStore(nil)
+	computes := 0
+	compute := func() [][]evalx.Result { computes++; return cacheTestGrid() }
+	k := cacheTestKey()
+	g1 := cachedGrid(k, compute)
+	g2 := cachedGrid(k, compute)
+	if computes != 1 {
+		t.Fatalf("computed %d times, want 1", computes)
+	}
+	if &g1[0][0] != &g2[0][0] {
+		t.Error("second call should return the memoized grid")
+	}
+}
+
+// TestCachedGridPersistsAcrossProcesses simulates two fp8bench
+// invocations sharing a cache dir: the memo is cleared (process
+// boundary) and the second "process" must load from disk, not compute.
+func TestCachedGridPersistsAcrossProcesses(t *testing.T) {
+	withCleanCache(t)
+	s, err := resultstore.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	SetStore(s)
+	computes := 0
+	compute := func() [][]evalx.Result { computes++; return cacheTestGrid() }
+	k := cacheTestKey()
+	first := cachedGrid(k, compute)
+
+	ClearMemo() // process boundary
+	second := cachedGrid(k, compute)
+	if computes != 1 {
+		t.Fatalf("computed %d times, want 1 (second run must hit the store)", computes)
+	}
+	st := s.Stats()
+	if st.Hits != 1 || st.Writes != 1 {
+		t.Errorf("store stats = %+v, want 1 hit / 1 write", st)
+	}
+	if len(second) != len(first) {
+		t.Fatalf("store round trip changed grid shape: %d vs %d", len(second), len(first))
+	}
+	for i := range first {
+		for j := range first[i] {
+			if second[i][j] != first[i][j] {
+				t.Errorf("cell [%d][%d] = %+v, want exact %+v", i, j, second[i][j], first[i][j])
+			}
+		}
+	}
+}
+
+// TestCachedGridDistinctKeys checks two keys never share a grid.
+func TestCachedGridDistinctKeys(t *testing.T) {
+	withCleanCache(t)
+	SetStore(nil)
+	computes := 0
+	compute := func() [][]evalx.Result { computes++; return cacheTestGrid() }
+	k2 := cacheTestKey()
+	k2.Seed = 7
+	cachedGrid(cacheTestKey(), compute)
+	cachedGrid(k2, compute)
+	if computes != 2 {
+		t.Fatalf("distinct keys computed %d times, want 2", computes)
+	}
+}

@@ -38,15 +38,19 @@ func runWeightScalingAblation() *Report {
 	}
 	tb := newTable("format", "per-tensor MSE", "per-channel MSE", "improvement")
 	vals := map[string]float64{}
-	for _, d := range []quant.DType{quant.E5M2, quant.E4M3, quant.E3M4, quant.INT8} {
+	dtypes := []quant.DType{quant.E5M2, quant.E4M3, quant.E3M4, quant.INT8}
+	// One cell per format; w is read-only, each cell quantizes clones.
+	type cell struct{ mseT, mseC float64 }
+	cells := collectCells(len(dtypes), func(i int) cell {
 		wt := w.Clone()
-		quant.QuantizeWeightPerTensor(wt, d)
-		mseT := tensor.MSE(w.Data, wt.Data)
+		quant.QuantizeWeightPerTensor(wt, dtypes[i])
 		wc := w.Clone()
-		quant.QuantizeWeightPerChannel(wc, 0, d)
-		mseC := tensor.MSE(w.Data, wc.Data)
-		imp := mseT / mseC
-		tb.add(d.String(), fmt.Sprintf("%.3e", mseT), fmt.Sprintf("%.3e", mseC),
+		quant.QuantizeWeightPerChannel(wc, 0, dtypes[i])
+		return cell{mseT: tensor.MSE(w.Data, wt.Data), mseC: tensor.MSE(w.Data, wc.Data)}
+	})
+	for i, d := range dtypes {
+		imp := cells[i].mseT / cells[i].mseC
+		tb.add(d.String(), fmt.Sprintf("%.3e", cells[i].mseT), fmt.Sprintf("%.3e", cells[i].mseC),
 			fmt.Sprintf("%.1fx", imp))
 		vals["ratio_"+d.String()] = imp
 	}
@@ -76,18 +80,25 @@ func runCalibAblation() *Report {
 	tb := newTable("tensor", "method", "threshold", "E4M3 MSE")
 	vals := map[string]float64{}
 	x := mkOutlier()
-	for _, m := range []quant.CalibMethod{quant.CalibMax, quant.CalibKL, quant.CalibMSE, quant.CalibPercentile} {
-		obs := quant.NewObserver(m)
+	methods := []quant.CalibMethod{quant.CalibMax, quant.CalibKL, quant.CalibMSE, quant.CalibPercentile}
+	// One cell per calibration method; x is read-only and each cell
+	// owns its observer, so the methods calibrate concurrently.
+	type cell struct{ th, mse float64 }
+	cells := collectCells(len(methods), func(i int) cell {
+		obs := quant.NewObserver(methods[i])
 		obs.Observe(x)
-		th := quant.CalibratedThreshold(obs, m, func(t float64) quant.Quantizer {
+		th := quant.CalibratedThreshold(obs, methods[i], func(t float64) quant.Quantizer {
 			return quant.NewScaledFP8(fp8.E4M3, t)
 		})
 		mse := quantMSE(x, clipThen(th, func(v float64) float64 {
 			scale := fp8.E4M3.MaxValue() / th
 			return fp8.E4M3.Quantize(v*scale) / scale
 		}))
-		tb.add("nlp-outliers", m.String(), fmt.Sprintf("%.2f", th), fmt.Sprintf("%.3e", mse))
-		vals["mse_"+m.String()] = mse
+		return cell{th: th, mse: mse}
+	})
+	for i, m := range methods {
+		tb.add("nlp-outliers", m.String(), fmt.Sprintf("%.2f", cells[i].th), fmt.Sprintf("%.3e", cells[i].mse))
+		vals["mse_"+m.String()] = cells[i].mse
 	}
 	return &Report{
 		Text: "Range-calibration ablation on an outlier-rich tensor: for E4M3, max scaling\n" +

@@ -17,9 +17,9 @@ func init() {
 func runFig6() *Report {
 	// Three prompts stand in for the three prompt studies (Figures 6,
 	// 11, 12). FP32 generations are the FID reference.
-	pipe := diffusion.NewPipeline(0xF166, 3)
+	refPipe := diffusion.NewPipeline(0xF166, 3)
 	const imagesPerPrompt = 24
-	ref := pipe.Generate(imagesPerPrompt)
+	ref := refPipe.Generate(imagesPerPrompt)
 
 	type cfg struct {
 		label  string
@@ -35,17 +35,24 @@ func runFig6() *Report {
 		{"INT8-Dynamic", quant.StandardINT8(true)},
 		{"INT8-Static", quant.StandardINT8(false)},
 	}
-	tb := newTable("config", "FID (vs FP32 generations)")
-	vals := map[string]float64{}
-	for _, c := range cfgs {
-		r := c.recipe
+	// One grid cell per config: each quantizes its own clone of the
+	// pipeline (identical weights by deterministic rebuild), so cells
+	// run concurrently on the sweep pool with no shared mutable state
+	// and the FIDs land in fixed slots regardless of worker count.
+	fids := collectCells(len(cfgs), func(i int) float64 {
+		pipe := refPipe.Clone()
+		r := cfgs[i].recipe
 		r.CalibBatches = 8
 		h := quant.Quantize(pipe, pipe.CalibData(), r)
 		gen := pipe.Generate(imagesPerPrompt)
 		h.Release()
-		fid := diffusion.FIDAgainst(ref, gen)
-		tb.add(c.label, fmt.Sprintf("%.2f", fid*100))
-		vals["fid_"+c.label] = fid * 100
+		return diffusion.FIDAgainst(ref, gen)
+	})
+	tb := newTable("config", "FID (vs FP32 generations)")
+	vals := map[string]float64{}
+	for i, c := range cfgs {
+		tb.add(c.label, fmt.Sprintf("%.2f", fids[i]*100))
+		vals["fid_"+c.label] = fids[i] * 100
 	}
 	return &Report{
 		Text: "Figure 6 / Appendix A.2 reproduction: FID of generated latent features vs the\n" +
@@ -81,17 +88,24 @@ func runTable4() *Report {
 		{"E3M4 Static", quant.StandardFP8(quant.E3M4)},
 		{"FP8 Mixed", quant.MixedFP8()},
 	}
+	// One grid cell per config: each quantizes its own clone of the
+	// generator, so the beam searches run concurrently on the sweep
+	// pool against the read-only FP32 reference sequence.
+	metrics := collectCells(len(cfgs), func(i int) textgen.Metrics {
+		cell := lm.Clone()
+		r := cfgs[i].recipe
+		r.CalibBatches = 4
+		h := quant.Quantize(cell, cell.DataSet, r)
+		gen := textgen.BeamSearch(cell, prompt, beamWidth, maxNew)
+		h.Release()
+		return textgen.Compare(refGen, gen)
+	})
 	tb := newTable("config", "first divergence", "match rate", "repetition (3-gram)", "distinct-2")
 	tb.add("FP32 (reference)", fmt.Sprintf("%d", len(refGen)), "1.000",
 		fmt.Sprintf("%.3f", refRep), fmt.Sprintf("%.3f", textgen.DistinctN(refGen, 2)))
 	vals := map[string]float64{"ref_repetition": refRep}
-	for _, c := range cfgs {
-		r := c.recipe
-		r.CalibBatches = 4
-		h := quant.Quantize(lm, lm.DataSet, r)
-		gen := textgen.BeamSearch(lm, prompt, beamWidth, maxNew)
-		h.Release()
-		m := textgen.Compare(refGen, gen)
+	for i, c := range cfgs {
+		m := metrics[i]
 		tb.add(c.label, fmt.Sprintf("%d", m.FirstDivergence),
 			fmt.Sprintf("%.3f", m.MatchRate),
 			fmt.Sprintf("%.3f", m.RepetitionRate),

@@ -3,12 +3,12 @@ package harness
 import (
 	"fmt"
 	"math"
-	"sync"
 
 	"fp8quant/internal/data"
 	"fp8quant/internal/evalx"
 	"fp8quant/internal/models"
 	"fp8quant/internal/quant"
+	"fp8quant/internal/resultstore"
 )
 
 func init() {
@@ -41,18 +41,28 @@ var table2Labels = []string{
 	"E3M4 Static", "E3M4 Dynamic", "INT8 Static CV | Dynamic NLP",
 }
 
-// fullSweep memoizes the all-model Table 2 sweep so that table2, fig4
-// and fig5 (which all consume it) pay for it once per process.
-var fullSweep struct {
-	once    sync.Once
-	results [][]evalx.Result
+// sweepKey is the content address of a Table-2-recipe sweep over the
+// named models. Model weights derive from per-name seeds, so the
+// experiment-level seed is constant; Schema tracks evaluation-code
+// changes that would invalidate stored grids.
+func sweepKey(names []string) resultstore.Key {
+	return resultstore.Key{
+		Experiment: "table2-sweep",
+		Models:     names,
+		Recipes:    table2Labels,
+		Seed:       0,
+		Schema:     resultstore.SchemaVersion,
+	}
 }
 
+// sweepAllModels returns the all-model Table 2 sweep that table2, fig4
+// and fig5 all consume: memoized in-process and, when a result store is
+// configured, persisted across fp8bench invocations.
 func sweepAllModels() [][]evalx.Result {
-	fullSweep.once.Do(func() {
-		fullSweep.results = sweepAll(models.Names())
+	names := models.Names()
+	return cachedGrid(sweepKey(names), func() [][]evalx.Result {
+		return sweepAll(names)
 	})
-	return fullSweep.results
 }
 
 // sweepAll evaluates the Table 2 recipe set on the named models across

@@ -217,9 +217,11 @@ func clipThen(t float64, q func(float64) float64) func(float64) float64 {
 	}
 }
 
-func runFig8() *Report {
-	// A BERT-base-style Linear: input activations with channel
-	// outliers (range-bound), weights normal (precision-bound).
+// fig8Layer deterministically rebuilds the Figure 8 study unit: a
+// BERT-base-style Linear (weights normal, precision-bound) and an input
+// batch with channel outliers (range-bound). Each grid cell builds its
+// own copy so the format configs quantize in isolation.
+func fig8Layer() (*nn.Linear, *tensor.Tensor) {
 	r := tensor.NewRNG(0xF168)
 	const in, out, rows = 64, 64, 256
 	l := nn.NewLinear(in, out)
@@ -242,38 +244,44 @@ func runFig8() *Report {
 		x.Data[row*in+7] *= 50
 		x.Data[row*in+23] *= 35
 	}
-	refOut := l.Forward(x)
+	return l, x
+}
 
-	quantizeActs := func(d quant.DType, xs *tensor.Tensor) *tensor.Tensor {
-		c := xs.Clone()
-		fn := quant.StaticFP8Func(d.Format(), c.AbsMax())
-		fn(c.Data, c.Data)
-		return c
+func runFig8() *Report {
+	cfgs := []struct {
+		name     string
+		act, wgt quant.DType
+	}{
+		{"E5M2", quant.E5M2, quant.E5M2},
+		{"E4M3", quant.E4M3, quant.E4M3},
+		{"E3M4", quant.E3M4, quant.E3M4},
+		{"Mixed(E4M3 act + E3M4 wgt)", quant.E4M3, quant.E3M4},
 	}
-	quantizeWgts := func(d quant.DType) func() {
-		master := quant.QuantizeWeightPerChannel(l.W, 0, d)
-		return func() { copy(l.W.Data, master) }
-	}
-
+	type cell struct{ inMSE, wMSE, oMSE float64 }
+	// One cell per format config, each on a private rebuild of the
+	// layer, fanned out over the sweep pool into fixed result slots.
+	cells := collectCells(len(cfgs), func(i int) cell {
+		l, x := fig8Layer()
+		refOut := l.Forward(x)
+		xq := x.Clone()
+		fn := quant.StaticFP8Func(cfgs[i].act.Format(), xq.AbsMax())
+		fn(xq.Data, xq.Data)
+		master := quant.QuantizeWeightPerChannel(l.W, 0, cfgs[i].wgt)
+		outQ := l.Forward(xq)
+		wMSE := tensor.MSE(master, l.W.Data)
+		return cell{
+			inMSE: tensor.MSE(x.Data, xq.Data),
+			wMSE:  wMSE,
+			oMSE:  tensor.MSE(refOut.Data, outQ.Data),
+		}
+	})
 	vals := map[string]float64{}
 	tb := newTable("config", "input MSE", "weight MSE", "output MSE")
-	try := func(name string, act, wgt quant.DType) {
-		xq := quantizeActs(act, x)
-		restore := quantizeWgts(wgt)
-		outQ := l.Forward(xq)
-		wMaster := make([]float32, l.W.Len())
-		copy(wMaster, l.W.Data)
-		restore()
-		inMSE := tensor.MSE(x.Data, xq.Data)
-		wMSE := tensor.MSE(l.W.Data, wMaster)
-		oMSE := tensor.MSE(refOut.Data, outQ.Data)
-		tb.add(name, fmt.Sprintf("%.4e", inMSE), fmt.Sprintf("%.4e", wMSE), fmt.Sprintf("%.4e", oMSE))
-		vals["out_mse_"+name] = oMSE
+	for i, c := range cfgs {
+		tb.add(c.name, fmt.Sprintf("%.4e", cells[i].inMSE),
+			fmt.Sprintf("%.4e", cells[i].wMSE), fmt.Sprintf("%.4e", cells[i].oMSE))
+		vals["out_mse_"+c.name] = cells[i].oMSE
 	}
-	try("E5M2", quant.E5M2, quant.E5M2)
-	try("E4M3", quant.E4M3, quant.E4M3)
-	try("E3M4", quant.E3M4, quant.E3M4)
-	try("Mixed(E4M3 act + E3M4 wgt)", quant.E4M3, quant.E3M4)
 	return &Report{
 		Text: "Figure 8 reproduction: output MSE of a Linear with range-bound inputs and\n" +
 			"precision-bound weights. Mixed formats pair E4M3's range for activations with\n" +

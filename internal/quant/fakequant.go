@@ -20,9 +20,7 @@ func StaticFP8Func(f fp8.Format, threshold float64) nn.QuantFunc {
 	scale := float32(f.MaxValue() / threshold)
 	inv := 1 / scale
 	return func(dst, src []float32) {
-		for i, v := range src {
-			dst[i] = c.Quantize(v*scale) * inv
-		}
+		c.QuantizeScaledSlice(dst, src, scale, inv)
 	}
 }
 
@@ -54,9 +52,7 @@ func DynamicFP8Func(f fp8.Format) nn.QuantFunc {
 		}
 		scale := float32(f.MaxValue() / am)
 		inv := 1 / scale
-		for i, v := range src {
-			dst[i] = c.Quantize(v*scale) * inv
-		}
+		c.QuantizeScaledSlice(dst, src, scale, inv)
 	}
 }
 
@@ -143,9 +139,7 @@ func QuantizeWeightPerChannel(w *tensor.Tensor, dim int, d DType) []float32 {
 		}
 		scale := float32(fmax / am)
 		inv := 1 / scale
-		for i, v := range seg {
-			seg[i] = codec.Quantize(v*scale) * inv
-		}
+		codec.QuantizeScaledSlice(seg, seg, scale, inv)
 	}
 	return master
 }
@@ -170,9 +164,7 @@ func QuantizeWeightPerTensor(w *tensor.Tensor, d DType) []float32 {
 		c := d.Format().Codec()
 		scale := float32(c.Format().MaxValue() / am)
 		inv := 1 / scale
-		for i, v := range w.Data {
-			w.Data[i] = c.Quantize(v*scale) * inv
-		}
+		c.QuantizeScaledSlice(w.Data, w.Data, scale, inv)
 	}
 	return master
 }

@@ -1,0 +1,177 @@
+// Package resultstore persists experiment result grids to disk as
+// content-addressed JSON files, so repeated fp8bench invocations reuse
+// sweeps instead of recomputing them. A grid is keyed by a fingerprint
+// of (experiment id, model set, recipe set, seed, schema version);
+// writes are atomic (temp file + rename) and reads tolerate corrupt or
+// stale files by treating them as misses, so a damaged cache can never
+// poison a report — at worst it costs a recompute.
+package resultstore
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+
+	"fp8quant/internal/evalx"
+)
+
+// SchemaVersion identifies the evaluation-code generation a stored grid
+// was produced by. Bump it whenever evalx.Result's layout, the batch
+// protocol, or anything else that changes grid numbers changes; stored
+// grids from other versions are treated as misses.
+const SchemaVersion = 1
+
+// Key identifies one cached grid. Models and Recipes are ordered — the
+// grid is indexed [model][recipe], so order is part of the identity.
+type Key struct {
+	// Experiment is the experiment id (e.g. "table2-sweep").
+	Experiment string `json:"experiment"`
+	// Models are the model names of the grid rows, in row order.
+	Models []string `json:"models"`
+	// Recipes label the grid columns, in column order.
+	Recipes []string `json:"recipes"`
+	// Seed is the experiment-level seed (model weights derive further
+	// per-name seeds from it or independently of it).
+	Seed uint64 `json:"seed"`
+	// Schema is the evaluation-code schema version (SchemaVersion).
+	Schema int `json:"schema"`
+}
+
+// Fingerprint returns the content address of the key: a 128-bit hex
+// digest of its canonical JSON encoding.
+func (k Key) Fingerprint() string {
+	b, err := json.Marshal(k)
+	if err != nil {
+		panic("resultstore: unmarshalable key: " + err.Error())
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:16])
+}
+
+// Stats counts store traffic since Open.
+type Stats struct {
+	Hits, Misses, Writes int64
+}
+
+// String formats the stats as the fp8bench cache-stats line body.
+func (s Stats) String() string {
+	return fmt.Sprintf("%d hits, %d misses, %d writes", s.Hits, s.Misses, s.Writes)
+}
+
+// Store is a directory of content-addressed grid files. A nil *Store is
+// valid and behaves as an always-miss, never-write store.
+type Store struct {
+	dir                  string
+	hits, misses, writes atomic.Int64
+}
+
+// Open creates (if needed) and opens the store directory.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("resultstore: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's directory.
+func (s *Store) Dir() string {
+	if s == nil {
+		return ""
+	}
+	return s.dir
+}
+
+// Stats returns a snapshot of the traffic counters.
+func (s *Store) Stats() Stats {
+	if s == nil {
+		return Stats{}
+	}
+	return Stats{Hits: s.hits.Load(), Misses: s.misses.Load(), Writes: s.writes.Load()}
+}
+
+// Path returns the file a key's grid is stored at.
+func (s *Store) Path(k Key) string {
+	return filepath.Join(s.dir, k.Fingerprint()+".json")
+}
+
+// envelope is the on-disk format: the schema version and full key ride
+// along with the grid so reads can reject stale or colliding entries.
+type envelope struct {
+	Schema int              `json:"schema"`
+	Key    Key              `json:"key"`
+	Grid   [][]evalx.Result `json:"grid"`
+}
+
+// LoadGrid returns the stored grid for the key, or (nil, false) on any
+// miss: absent file, unreadable JSON, schema mismatch, or key mismatch.
+func (s *Store) LoadGrid(k Key) ([][]evalx.Result, bool) {
+	if s == nil {
+		return nil, false
+	}
+	path := s.Path(k)
+	b, err := os.ReadFile(path)
+	if err != nil {
+		s.misses.Add(1)
+		return nil, false
+	}
+	var env envelope
+	if err := json.Unmarshal(b, &env); err != nil {
+		// Corrupt entry (torn write from a crashed process, disk
+		// damage): treat as a miss. Deliberately not deleted — the
+		// recompute's SaveGrid rename replaces it atomically, and a
+		// delete here could race a concurrent process's just-renamed
+		// valid grid.
+		s.misses.Add(1)
+		return nil, false
+	}
+	if env.Schema != k.Schema || !keysEqual(env.Key, k) {
+		s.misses.Add(1)
+		return nil, false
+	}
+	s.hits.Add(1)
+	return env.Grid, true
+}
+
+// SaveGrid atomically persists the grid under the key: the JSON is
+// written to a temp file in the store directory and renamed into place,
+// so concurrent readers only ever see complete entries.
+func (s *Store) SaveGrid(k Key, grid [][]evalx.Result) error {
+	if s == nil {
+		return nil
+	}
+	b, err := json.Marshal(envelope{Schema: k.Schema, Key: k, Grid: grid})
+	if err != nil {
+		return fmt.Errorf("resultstore: %w", err)
+	}
+	tmp, err := os.CreateTemp(s.dir, ".grid-*.tmp")
+	if err != nil {
+		return fmt.Errorf("resultstore: %w", err)
+	}
+	if _, err := tmp.Write(b); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("resultstore: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("resultstore: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), s.Path(k)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("resultstore: %w", err)
+	}
+	s.writes.Add(1)
+	return nil
+}
+
+// keysEqual compares keys by canonical encoding (guards fingerprint
+// collisions and hand-edited files).
+func keysEqual(a, b Key) bool {
+	ab, _ := json.Marshal(a)
+	bb, _ := json.Marshal(b)
+	return string(ab) == string(bb)
+}

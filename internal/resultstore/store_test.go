@@ -1,0 +1,166 @@
+package resultstore
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"fp8quant/internal/evalx"
+	"fp8quant/internal/models"
+)
+
+func testKey() Key {
+	return Key{
+		Experiment: "table2-sweep",
+		Models:     []string{"resnet50", "bert_base_mrpc"},
+		Recipes:    []string{"E4M3 Static", "INT8 Static CV | Dynamic NLP"},
+		Seed:       0,
+		Schema:     SchemaVersion,
+	}
+}
+
+func testGrid() [][]evalx.Result {
+	return [][]evalx.Result{
+		{
+			{Model: "resnet50", Domain: models.CV, Recipe: "E4M3 Static",
+				BaseAcc: 1, QAcc: 0.9987654321012345, RelLoss: 0.0012345678987655, Pass: true},
+			{Model: "resnet50", Domain: models.CV, Recipe: "INT8 Static CV | Dynamic NLP",
+				BaseAcc: 1, QAcc: 0.91, RelLoss: 0.09, Pass: false},
+		},
+		nil, // a model that failed to build yields a nil row
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := testKey()
+	if _, ok := s.LoadGrid(k); ok {
+		t.Fatal("empty store must miss")
+	}
+	grid := testGrid()
+	if err := s.SaveGrid(k, grid); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.LoadGrid(k)
+	if !ok {
+		t.Fatal("warm store must hit")
+	}
+	if len(got) != len(grid) {
+		t.Fatalf("grid rows = %d, want %d", len(got), len(grid))
+	}
+	if got[1] != nil {
+		t.Errorf("nil row round-tripped to %v", got[1])
+	}
+	for i, r := range grid[0] {
+		if got[0][i] != r {
+			t.Errorf("cell [0][%d] = %+v, want exact %+v", i, got[0][i], r)
+		}
+	}
+	st := s.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Writes != 1 {
+		t.Errorf("stats = %+v, want 1 hit / 1 miss / 1 write", st)
+	}
+}
+
+func TestCorruptFileIsMissAndHealed(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := testKey()
+	if err := os.WriteFile(s.Path(k), []byte(`{"schema":1,"grid":[[truncated`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.LoadGrid(k); ok {
+		t.Fatal("corrupt file must be a miss")
+	}
+	// The recompute's SaveGrid atomically replaces the corrupt entry.
+	if err := s.SaveGrid(k, testGrid()); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.LoadGrid(k); !ok {
+		t.Fatal("healed slot must hit")
+	}
+}
+
+func TestSchemaMismatchIsMiss(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := testKey()
+	// Simulate a grid written by an older code generation: same file
+	// location, stale schema stamp in the envelope.
+	b, _ := json.Marshal(envelope{Schema: k.Schema - 1, Key: k, Grid: testGrid()})
+	if err := os.WriteFile(s.Path(k), b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.LoadGrid(k); ok {
+		t.Fatal("stale-schema entry must be a miss")
+	}
+	// A key mismatch (fingerprint collision / hand-edited file) is a
+	// miss too.
+	other := k
+	other.Models = []string{"resnet50"}
+	b, _ = json.Marshal(envelope{Schema: k.Schema, Key: other, Grid: testGrid()})
+	if err := os.WriteFile(s.Path(k), b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.LoadGrid(k); ok {
+		t.Fatal("key-mismatch entry must be a miss")
+	}
+}
+
+func TestFingerprintSensitivity(t *testing.T) {
+	base := testKey()
+	fp := base.Fingerprint()
+	mutate := []func(*Key){
+		func(k *Key) { k.Experiment = "other" },
+		func(k *Key) { k.Models = []string{"bert_base_mrpc", "resnet50"} }, // order matters
+		func(k *Key) { k.Recipes = k.Recipes[:1] },
+		func(k *Key) { k.Seed = 1 },
+		func(k *Key) { k.Schema++ },
+	}
+	for i, mut := range mutate {
+		k := testKey()
+		mut(&k)
+		if k.Fingerprint() == fp {
+			t.Errorf("mutation %d did not change the fingerprint", i)
+		}
+	}
+	if testKey().Fingerprint() != fp {
+		t.Error("fingerprint must be deterministic")
+	}
+}
+
+func TestNilStoreIsInert(t *testing.T) {
+	var s *Store
+	if _, ok := s.LoadGrid(testKey()); ok {
+		t.Error("nil store must miss")
+	}
+	if err := s.SaveGrid(testKey(), testGrid()); err != nil {
+		t.Error("nil store SaveGrid must be a no-op")
+	}
+	if s.Stats() != (Stats{}) || s.Dir() != "" {
+		t.Error("nil store must report empty stats and dir")
+	}
+}
+
+func TestAtomicWriteLeavesNoTemp(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SaveGrid(testKey(), testGrid()); err != nil {
+		t.Fatal(err)
+	}
+	tmps, _ := filepath.Glob(filepath.Join(dir, ".grid-*.tmp"))
+	if len(tmps) != 0 {
+		t.Errorf("temp files left behind: %v", tmps)
+	}
+}
