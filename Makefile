@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet fmt fmt-check test bench ci
+.PHONY: all build vet fmt fmt-check test bench smoke ci
 
 all: build
 
@@ -25,5 +25,18 @@ test:
 
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x ./...
+
+# Warm-cache smoke: run table3 twice against a fresh store; the second
+# run must report 0 misses and print a byte-identical report (the
+# timing/cache footer lines, which start with "(", are excluded).
+smoke:
+	@set -e; d=$$(mktemp -d); trap 'rm -rf "$$d"' EXIT; \
+	$(GO) run ./cmd/fp8bench -exp table3 -cache-dir "$$d/store" > "$$d/run1.txt"; \
+	$(GO) run ./cmd/fp8bench -exp table3 -cache-dir "$$d/store" > "$$d/run2.txt"; \
+	grep -q ", 0 misses," "$$d/run2.txt" || { \
+		echo "smoke: warm run had misses:"; grep "result store" "$$d/run2.txt"; exit 1; }; \
+	grep -v "^(" "$$d/run1.txt" > "$$d/r1"; grep -v "^(" "$$d/run2.txt" > "$$d/r2"; \
+	cmp "$$d/r1" "$$d/r2" || { echo "smoke: warm report differs from cold"; exit 1; }; \
+	echo "smoke: warm run identical, 0 misses"
 
 ci: build vet fmt-check test

@@ -37,7 +37,7 @@ func BenchmarkTable1FormatConstants(b *testing.B) {
 func BenchmarkFig1QuantMSE(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		e, _ := harness.Get("fig1")
-		_ = e.Run()
+		_ = harness.Run(e)
 	}
 }
 
@@ -45,7 +45,7 @@ func BenchmarkFig1QuantMSE(b *testing.B) {
 func BenchmarkFig3TensorDistributions(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		e, _ := harness.Get("fig3")
-		_ = e.Run()
+		_ = harness.Run(e)
 	}
 }
 
@@ -165,11 +165,15 @@ func BenchmarkFig7BNCalibration(b *testing.B) {
 	}
 }
 
-// BenchmarkFig8MixedFormatMSE regenerates Figure 8.
+// BenchmarkFig8MixedFormatMSE regenerates Figure 8. fig8 is a grid
+// experiment, so the in-process cell memo is cleared every iteration —
+// without that, iterations 2..N would just replay memoized cells and
+// the benchmark would stop tracking the quantization path.
 func BenchmarkFig8MixedFormatMSE(b *testing.B) {
 	for i := 0; i < b.N; i++ {
+		harness.ClearMemo()
 		e, _ := harness.Get("fig8")
-		_ = e.Run()
+		_ = harness.Run(e)
 	}
 }
 
@@ -216,7 +220,7 @@ func BenchmarkFig9ExtendedOps(b *testing.B) {
 func BenchmarkFig10KLDemo(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		e, _ := harness.Get("fig10")
-		_ = e.Run()
+		_ = harness.Run(e)
 	}
 }
 
@@ -317,12 +321,15 @@ var benchSink uint8
 // ---- sweep-engine scaling ----
 
 // benchmarkSweep runs the Table 2 recipe sweep over the reduced model
-// subset at a fixed worker count.
+// subset at a fixed worker count. ClearMemo before every run drops the
+// process-wide FP32 reference cache, so each worker count measures the
+// same amount of work and the scaling comparison stays valid.
 func benchmarkSweep(b *testing.B, workers int) {
 	harness.SetWorkers(workers)
 	defer harness.SetWorkers(0)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
+		harness.ClearMemo()
 		_ = harness.Sweep(benchSubset)
 	}
 }

@@ -2,42 +2,54 @@
 //
 // Usage:
 //
-//	fp8bench -list               list available experiment ids
-//	fp8bench -exp table2         run one experiment
-//	fp8bench -exp all            run every experiment (slow)
-//	fp8bench -exp table2 -workers 4   bound the sweep worker pool
-//	fp8bench -models             list the 75-model zoo with metadata
+//	fp8bench -list                       list available experiment ids
+//	fp8bench -exp table2                 run one experiment
+//	fp8bench -exp table2,fig4,fig5       run several (they share the sweep grid)
+//	fp8bench -exp all                    run every experiment (slow)
+//	fp8bench -exp table2 -workers 4      bound the sweep worker pool
+//	fp8bench -exp table2 -filter "model=resnet50;densenet121"   run a sub-grid
+//	fp8bench -exp table2 -json           machine-readable report on stdout
+//	fp8bench -cache-clear                prune stale/old-schema store entries
+//	fp8bench -models                     list the 75-model zoo with metadata
 //
-// Sweep experiments fan their (model, recipe) cells out over a bounded
-// worker pool; -workers defaults to GOMAXPROCS. Results are
-// deterministic for any worker count.
-//
-// Sweep grids are also persisted to a content-addressed result store
-// (-cache-dir, default ~/.cache/fp8bench), so a repeated invocation
-// reuses the stored grid instead of recomputing the sweep and prints an
-// identical report. -no-cache disables the store; each experiment
-// footer reports its cache traffic.
+// Experiments are declarative cell grids (harness.GridSpec); the
+// executor fans their cells out over a bounded worker pool (-workers,
+// default GOMAXPROCS) and persists every completed cell to a
+// content-addressed result store (-cache-dir, default
+// ~/.cache/fp8bench). An interrupted run therefore resumes from its
+// completed cells, and a repeated invocation prints an identical
+// report without recomputing. -no-cache disables the store; each
+// experiment footer reports its cell cache traffic, and a progress
+// line on stderr shows cells done/total while a grid executes.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
+	"sync"
 	"time"
 
+	"fp8quant/internal/evalx"
 	"fp8quant/internal/harness"
 	"fp8quant/internal/models"
 	"fp8quant/internal/resultstore"
 )
 
 func main() {
-	exp := flag.String("exp", "", "experiment id to run (or 'all')")
+	exp := flag.String("exp", "", "comma-separated experiment ids to run (or 'all')")
 	list := flag.Bool("list", false, "list experiment ids")
 	listModels := flag.Bool("models", false, "list the model zoo")
-	workers := flag.Int("workers", 0, "max concurrent sweep cells (0 = GOMAXPROCS)")
+	workers := flag.Int("workers", 0, "max concurrent grid cells (0 = GOMAXPROCS)")
 	cacheDir := flag.String("cache-dir", defaultCacheDir(), "persistent result-store directory ('' = disabled)")
 	noCache := flag.Bool("no-cache", false, "disable the persistent result store")
+	cacheClear := flag.Bool("cache-clear", false, "prune stale/old-schema entries from the result store")
+	cacheMaxAge := flag.Duration("cache-max-age", 0, "with -cache-clear, also remove entries older than this age (0 = schema-stale only)")
+	filterFlag := flag.String("filter", "", `run only matching cells, e.g. "model=resnet50;densenet121,recipe=E4M3 Static"`)
+	jsonOut := flag.Bool("json", false, "emit a machine-readable JSON report on stdout")
 	flag.Parse()
 	harness.SetWorkers(*workers)
 	if !*noCache && *cacheDir != "" {
@@ -48,12 +60,33 @@ func main() {
 			harness.SetStore(s)
 		}
 	}
+	if *cacheClear {
+		s := harness.Store()
+		if s == nil {
+			fmt.Fprintln(os.Stderr, "-cache-clear: no result store configured")
+			os.Exit(1)
+		}
+		n, err := s.Prune(*cacheMaxAge)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "-cache-clear: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "pruned %d stale entries from %s\n", n, s.Dir())
+		if *exp == "" && !*list && !*listModels {
+			return
+		}
+	}
+	filter, err := harness.ParseFilter(*filterFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "-filter: %v\n", err)
+		os.Exit(1)
+	}
 
 	switch {
 	case *list:
 		for _, id := range harness.IDs() {
 			e, _ := harness.Get(id)
-			fmt.Printf("%-10s %s\n", id, e.Title)
+			fmt.Printf("%-14s %s\n", id, e.Title())
 		}
 	case *listModels:
 		fmt.Printf("%-24s %-7s %-14s %9s %6s %6s %8s\n",
@@ -64,20 +97,94 @@ func main() {
 				info.Name, info.Domain, info.Task, info.SizeMB,
 				info.HasBN, info.HasLN, info.OutlierRatio)
 		}
-	case *exp == "all":
-		for _, id := range harness.IDs() {
-			runOne(id)
-		}
 	case *exp != "":
-		if _, ok := harness.Get(*exp); !ok {
-			fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *exp)
+		ids, err := resolveIDs(*exp)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%v; use -list\n", err)
 			os.Exit(1)
 		}
-		runOne(*exp)
+		if stderrIsTerminal() {
+			harness.SetProgress(progressLine)
+		}
+		var outs []expReport
+		failed, skipped := 0, 0
+		for _, id := range ids {
+			// In a batch, an experiment without the filtered axes (fig6
+			// has no "model" axis, scalar fig1 has no cells at all) is
+			// skipped with a note, not failed — otherwise -filter could
+			// never be combined with -exp all.
+			if e, _ := harness.Get(id); len(filter) > 0 {
+				if spec := e.Spec(); len(spec.Select(filter)) == 0 {
+					if !*jsonOut {
+						fmt.Fprintf(os.Stderr, "skipping %s: filter matches none of its cells\n", id)
+					}
+					outs = append(outs, expReport{ID: id, Title: e.Title(), Skipped: true})
+					skipped++
+					continue
+				}
+			}
+			o := runOne(id, filter, *jsonOut)
+			if o.Error != "" {
+				failed++
+			}
+			outs = append(outs, o)
+		}
+		if skipped == len(ids) {
+			fmt.Fprintf(os.Stderr, "-filter %q matches no cells in any requested experiment\n", *filterFlag)
+			failed++
+		}
+		if *jsonOut {
+			// An unencodable report (a NaN that slipped into a value)
+			// must not discard the whole batch: degrade just that
+			// experiment to an error stub.
+			for i := range outs {
+				if _, err := json.Marshal(outs[i]); err != nil {
+					outs[i] = expReport{
+						ID: outs[i].ID, Title: outs[i].Title,
+						Error:      "json encode: " + err.Error(),
+						ElapsedSec: outs[i].ElapsedSec,
+						Cache:      outs[i].Cache,
+					}
+				}
+			}
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(struct {
+				Experiments []expReport `json:"experiments"`
+			}{outs}); err != nil {
+				fmt.Fprintf(os.Stderr, "json encode: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		if failed > 0 {
+			os.Exit(1)
+		}
 	default:
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// resolveIDs expands and validates the -exp argument.
+func resolveIDs(arg string) ([]string, error) {
+	if arg == "all" {
+		return harness.IDs(), nil
+	}
+	var ids []string
+	for _, id := range strings.Split(arg, ",") {
+		id = strings.TrimSpace(id)
+		if id == "" {
+			continue
+		}
+		if _, ok := harness.Get(id); !ok {
+			return nil, fmt.Errorf("unknown experiment %q", id)
+		}
+		ids = append(ids, id)
+	}
+	if len(ids) == 0 {
+		return nil, fmt.Errorf("no experiment ids in %q", arg)
+	}
+	return ids, nil
 }
 
 // defaultCacheDir resolves ~/.cache/fp8bench (per XDG on Linux); an
@@ -90,19 +197,115 @@ func defaultCacheDir() string {
 	return filepath.Join(base, "fp8bench")
 }
 
-func runOne(id string) {
-	e, _ := harness.Get(id)
-	fmt.Printf("=== %s — %s ===\n", e.ID, e.Title)
+// expReport is the per-experiment unit of the -json output.
+type expReport struct {
+	ID         string             `json:"id"`
+	Title      string             `json:"title"`
+	Error      string             `json:"error,omitempty"`
+	Skipped    bool               `json:"skipped,omitempty"`
+	ElapsedSec float64            `json:"elapsed_sec"`
+	Cells      []cellReport       `json:"cells,omitempty"`
+	Values     map[string]float64 `json:"values,omitempty"`
+	Cache      *cacheReport       `json:"cache,omitempty"`
+}
+
+// cellReport is one executed grid cell in the -json output.
+type cellReport struct {
+	Key string `json:"key"`
+	evalx.Result
+}
+
+// cacheReport is the experiment's result-store traffic delta.
+type cacheReport struct {
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+	Writes int64 `json:"writes"`
+}
+
+// runOne executes one experiment, printing its report (text mode) and
+// returning the structured form (JSON mode). Panics are recovered and
+// reported per experiment, so one failing experiment cannot abort an
+// -exp all batch, and the elapsed-time and cache footers are printed
+// either way.
+func runOne(id string, f harness.Filter, jsonMode bool) (out expReport) {
+	e, ok := harness.Get(id)
+	if !ok {
+		return expReport{ID: id, Error: "unknown experiment"}
+	}
+	out = expReport{ID: id, Title: e.Title()}
 	s := harness.Store()
 	before := s.Stats()
 	t0 := time.Now()
-	rep := e.Run()
-	fmt.Println(rep.Text)
-	fmt.Printf("(%s finished in %.1fs)\n", id, time.Since(t0).Seconds())
-	if s != nil {
-		d := s.Stats()
-		fmt.Printf("(result store %s: %d hits, %d misses, %d writes)\n",
-			s.Dir(), d.Hits-before.Hits, d.Misses-before.Misses, d.Writes-before.Writes)
+	if !jsonMode {
+		fmt.Printf("=== %s — %s ===\n", id, e.Title())
 	}
-	fmt.Println()
+	defer func() {
+		if r := recover(); r != nil {
+			out.Error = fmt.Sprintf("panic: %v", r)
+		}
+		out.ElapsedSec = time.Since(t0).Seconds()
+		if s != nil {
+			d := s.Stats()
+			out.Cache = &cacheReport{
+				Hits:   d.Hits - before.Hits,
+				Misses: d.Misses - before.Misses,
+				Writes: d.Writes - before.Writes,
+			}
+		}
+		if !jsonMode {
+			if out.Error != "" {
+				fmt.Fprintf(os.Stderr, "error: %s: %s\n", id, out.Error)
+			}
+			fmt.Printf("(%s finished in %.1fs)\n", id, out.ElapsedSec)
+			if c := out.Cache; c != nil {
+				fmt.Printf("(result store %s: %d hits, %d misses, %d writes)\n",
+					s.Dir(), c.Hits, c.Misses, c.Writes)
+			}
+			fmt.Println()
+		}
+	}()
+	grid, sel, err := harness.RunGrid(e, f)
+	if err != nil {
+		out.Error = err.Error()
+		return out
+	}
+	var rep *harness.Report
+	if len(f) == 0 {
+		rep = e.Render(grid)
+	} else {
+		rep = harness.SubGridReport(e, grid, sel)
+	}
+	out.Values = rep.Values
+	if jsonMode {
+		for _, i := range sel {
+			c := grid.Spec.CellAt(i)
+			out.Cells = append(out.Cells, cellReport{
+				Key:    grid.Spec.KeyString(c),
+				Result: grid.Results[i],
+			})
+		}
+	} else {
+		fmt.Println(rep.Text)
+	}
+	return out
+}
+
+// progressMu serializes the progress line across cell workers.
+var progressMu sync.Mutex
+
+// progressLine rewrites the cells done/total line on stderr while a
+// grid executes (installed only when stderr is a terminal).
+func progressLine(id string, done, total int) {
+	progressMu.Lock()
+	defer progressMu.Unlock()
+	fmt.Fprintf(os.Stderr, "\r%s: cells %d/%d", id, done, total)
+	if done >= total {
+		fmt.Fprint(os.Stderr, "\r\033[K")
+	}
+}
+
+// stderrIsTerminal reports whether stderr is an interactive terminal.
+func stderrIsTerminal() bool {
+	fi, err := os.Stderr.Stat()
+	return err == nil && fi.Mode()&os.ModeCharDevice != 0
 }

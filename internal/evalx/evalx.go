@@ -33,15 +33,31 @@ const (
 // restores a trained-model-like margin distribution; see DESIGN.md.
 const MarginKeepPct = 70.0
 
-// Result is one (model, recipe) evaluation.
+// Result is one (model, recipe) evaluation. Accuracy experiments fill
+// the BaseAcc/QAcc/RelLoss/Pass quartet; experiments measuring other
+// quantities (FID, beam-search divergence, MSE ablations) carry them
+// as named Metrics instead. Results are serialized as-is by
+// internal/resultstore, so every field must JSON round-trip exactly —
+// keep NaN/Inf out of the float fields (mark failures via Err).
 type Result struct {
-	Model   string
-	Domain  models.Domain
-	Recipe  string
-	BaseAcc float64
-	QAcc    float64
-	RelLoss float64
-	Pass    bool
+	Model   string        `json:"model"`
+	Domain  models.Domain `json:"domain"`
+	Recipe  string        `json:"recipe"`
+	BaseAcc float64       `json:"base_acc"`
+	QAcc    float64       `json:"qacc"`
+	RelLoss float64       `json:"rel_loss"`
+	Pass    bool          `json:"pass"`
+	// Metrics holds named non-accuracy measurements of the cell.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+	// Err marks a cell that could not be evaluated (e.g. the model
+	// failed to build). Renderers skip errored cells; the cache layer
+	// never persists them.
+	Err string `json:"err,omitempty"`
+}
+
+// Failed returns the error marker Result for a cell that could not run.
+func Failed(model, recipe string, err error) Result {
+	return Result{Model: model, Recipe: recipe, Err: err.Error()}
 }
 
 // Reference holds the FP32 ground truth of a model on its eval split.

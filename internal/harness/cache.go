@@ -1,9 +1,9 @@
-// Result caching: sweep grids are memoized per process (table2, fig4
-// and fig5 all consume the same 75-model sweep) and, when a store is
-// configured, persisted to disk so later fp8bench invocations reuse
-// them across processes. Cache entries are keyed by content address —
-// experiment id, model set, recipe set, seed and schema version — so a
-// stale store can only miss, never corrupt a report.
+// Result caching: grid cells are memoized per process (table2, fig4
+// and fig5 all consume the same 75x6 sweep grid) and, when a store is
+// configured, persisted to disk per cell so later fp8bench invocations
+// resume from completed cells across processes. Entries are keyed by
+// content address — grid id, axis coordinates, seed and schema version
+// — so a stale store can only miss, never corrupt a report.
 
 package harness
 
@@ -20,13 +20,13 @@ var (
 	cacheMu sync.Mutex
 	// store is the optional disk-backed result store (nil = disabled).
 	store *resultstore.Store
-	// memo is the in-process grid cache, keyed by key fingerprint.
-	memo = map[string][][]evalx.Result{}
+	// memo is the in-process cell cache, keyed by cell fingerprint.
+	memo = map[string]evalx.Result{}
 )
 
 // SetStore installs (or, with nil, removes) the persistent result
-// store consulted by sweep experiments. Call before running
-// experiments; grids already memoized in-process are kept.
+// store consulted by the grid executor. Call before running
+// experiments; cells already memoized in-process are kept.
 func SetStore(s *resultstore.Store) {
 	cacheMu.Lock()
 	defer cacheMu.Unlock()
@@ -40,42 +40,51 @@ func Store() *resultstore.Store {
 	return store
 }
 
-// ClearMemo drops the in-process grid cache (the disk store is
-// untouched). Tests use it to force store round trips; long-lived
-// embedders can use it to release sweep memory.
+// ClearMemo drops every in-process cache — the cell memo, the
+// per-model FP32 reference cache, and the fig6/table4 generation
+// references (the disk store is untouched). Tests use it to simulate a
+// process boundary and force store round trips; long-lived embedders
+// can use it to release sweep memory.
 func ClearMemo() {
 	cacheMu.Lock()
-	defer cacheMu.Unlock()
-	memo = map[string][][]evalx.Result{}
+	memo = map[string]evalx.Result{}
+	cacheMu.Unlock()
+	clearRefs()
+	clearGenRefs()
 }
 
-// cachedGrid returns the grid for the key, trying the in-process memo,
-// then the disk store, then computing it (and persisting the result).
+// cachedCell returns the result for the cell key, trying the
+// in-process memo, then the disk store, then computing it (and
+// persisting the result). Errored cells (Err != "") are memoized for
+// the process but never persisted — a deterministic failure is cheap
+// to re-derive and must not outlive the code that caused it.
 // Concurrent callers with the same key may compute twice; both arrive
-// at identical grids, so last-write-wins is safe.
-func cachedGrid(k resultstore.Key, compute func() [][]evalx.Result) [][]evalx.Result {
+// at identical results, so last-write-wins is safe.
+func cachedCell(k resultstore.CellKey, compute func() evalx.Result) evalx.Result {
 	fp := k.Fingerprint()
 	cacheMu.Lock()
-	g, ok := memo[fp]
+	r, ok := memo[fp]
 	s := store
 	cacheMu.Unlock()
 	if ok {
-		return g
+		return r
 	}
-	if g, ok := s.LoadGrid(k); ok {
+	if r, ok := s.LoadCell(k); ok {
 		cacheMu.Lock()
-		memo[fp] = g
+		memo[fp] = r
 		cacheMu.Unlock()
-		return g
+		return r
 	}
-	g = compute()
-	if err := s.SaveGrid(k, g); err != nil {
-		// A failed persist (full/unwritable cache dir) must not go
-		// unnoticed: without it every invocation repays the full sweep.
-		fmt.Fprintf(os.Stderr, "warning: result store write failed: %v\n", err)
+	r = compute()
+	if r.Err == "" {
+		if err := s.SaveCell(k, r); err != nil {
+			// A failed persist (full/unwritable cache dir) must not go
+			// unnoticed: without it every invocation repays the sweep.
+			fmt.Fprintf(os.Stderr, "warning: result store write failed: %v\n", err)
+		}
 	}
 	cacheMu.Lock()
-	memo[fp] = g
+	memo[fp] = r
 	cacheMu.Unlock()
-	return g
+	return r
 }

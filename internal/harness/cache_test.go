@@ -1,6 +1,8 @@
 package harness
 
 import (
+	"errors"
+	"reflect"
 	"testing"
 
 	"fp8quant/internal/evalx"
@@ -18,44 +20,47 @@ func withCleanCache(t *testing.T) {
 	})
 }
 
-func cacheTestKey() resultstore.Key {
-	return resultstore.Key{
-		Experiment: "cache-test",
-		Models:     []string{"m1", "m2"},
-		Recipes:    []string{"r1"},
-		Schema:     resultstore.SchemaVersion,
+func cellTestKey(model string) resultstore.CellKey {
+	return resultstore.CellKey{
+		Grid: "cache-test",
+		Cell: []resultstore.AxisValue{
+			{Axis: "model", Value: model},
+			{Axis: "recipe", Value: "r1"},
+		},
+		Schema: resultstore.SchemaVersion,
 	}
 }
 
-func cacheTestGrid() [][]evalx.Result {
-	return [][]evalx.Result{
-		{{Model: "m1", Domain: models.CV, Recipe: "r1", BaseAcc: 1, QAcc: 0.993, RelLoss: 0.007, Pass: true}},
-		{{Model: "m2", Domain: models.NLP, Recipe: "r1", BaseAcc: 1, QAcc: 0.9, RelLoss: 0.1}},
+func cellTestResult(model string) evalx.Result {
+	return evalx.Result{
+		Model: model, Domain: models.CV, Recipe: "r1",
+		BaseAcc: 1, QAcc: 0.993, RelLoss: 0.007, Pass: true,
+		Metrics: map[string]float64{"aux": 1.25},
 	}
 }
 
-// TestCachedGridMemoizes checks the in-process layer: the second call
+// TestCachedCellMemoizes checks the in-process layer: the second call
 // with the same key must not recompute, with or without a disk store.
-func TestCachedGridMemoizes(t *testing.T) {
+func TestCachedCellMemoizes(t *testing.T) {
 	withCleanCache(t)
 	SetStore(nil)
 	computes := 0
-	compute := func() [][]evalx.Result { computes++; return cacheTestGrid() }
-	k := cacheTestKey()
-	g1 := cachedGrid(k, compute)
-	g2 := cachedGrid(k, compute)
+	compute := func() evalx.Result { computes++; return cellTestResult("m1") }
+	k := cellTestKey("m1")
+	r1 := cachedCell(k, compute)
+	r2 := cachedCell(k, compute)
 	if computes != 1 {
 		t.Fatalf("computed %d times, want 1", computes)
 	}
-	if &g1[0][0] != &g2[0][0] {
-		t.Error("second call should return the memoized grid")
+	if !reflect.DeepEqual(r1, r2) {
+		t.Error("second call should return the memoized result")
 	}
 }
 
-// TestCachedGridPersistsAcrossProcesses simulates two fp8bench
+// TestCachedCellPersistsAcrossProcesses simulates two fp8bench
 // invocations sharing a cache dir: the memo is cleared (process
 // boundary) and the second "process" must load from disk, not compute.
-func TestCachedGridPersistsAcrossProcesses(t *testing.T) {
+func TestCachedCellPersistsAcrossProcesses(t *testing.T) {
 	withCleanCache(t)
 	s, err := resultstore.Open(t.TempDir())
 	if err != nil {
@@ -63,12 +68,12 @@ func TestCachedGridPersistsAcrossProcesses(t *testing.T) {
 	}
 	SetStore(s)
 	computes := 0
-	compute := func() [][]evalx.Result { computes++; return cacheTestGrid() }
-	k := cacheTestKey()
-	first := cachedGrid(k, compute)
+	compute := func() evalx.Result { computes++; return cellTestResult("m1") }
+	k := cellTestKey("m1")
+	first := cachedCell(k, compute)
 
 	ClearMemo() // process boundary
-	second := cachedGrid(k, compute)
+	second := cachedCell(k, compute)
 	if computes != 1 {
 		t.Fatalf("computed %d times, want 1 (second run must hit the store)", computes)
 	}
@@ -76,29 +81,53 @@ func TestCachedGridPersistsAcrossProcesses(t *testing.T) {
 	if st.Hits != 1 || st.Writes != 1 {
 		t.Errorf("store stats = %+v, want 1 hit / 1 write", st)
 	}
-	if len(second) != len(first) {
-		t.Fatalf("store round trip changed grid shape: %d vs %d", len(second), len(first))
-	}
-	for i := range first {
-		for j := range first[i] {
-			if second[i][j] != first[i][j] {
-				t.Errorf("cell [%d][%d] = %+v, want exact %+v", i, j, second[i][j], first[i][j])
-			}
-		}
+	if !reflect.DeepEqual(first, second) {
+		t.Errorf("store round trip changed the result: %+v vs %+v", second, first)
 	}
 }
 
-// TestCachedGridDistinctKeys checks two keys never share a grid.
-func TestCachedGridDistinctKeys(t *testing.T) {
+// TestCachedCellDistinctKeys checks two keys never share a result.
+func TestCachedCellDistinctKeys(t *testing.T) {
 	withCleanCache(t)
 	SetStore(nil)
 	computes := 0
-	compute := func() [][]evalx.Result { computes++; return cacheTestGrid() }
-	k2 := cacheTestKey()
+	compute := func() evalx.Result { computes++; return cellTestResult("m1") }
+	k2 := cellTestKey("m1")
 	k2.Seed = 7
-	cachedGrid(cacheTestKey(), compute)
-	cachedGrid(k2, compute)
+	cachedCell(cellTestKey("m1"), compute)
+	cachedCell(k2, compute)
 	if computes != 2 {
 		t.Fatalf("distinct keys computed %d times, want 2", computes)
+	}
+}
+
+// TestCachedCellErrNotPersisted checks failed cells are memoized for
+// the process but never written to the store: after a process
+// boundary, a failed cell must recompute.
+func TestCachedCellErrNotPersisted(t *testing.T) {
+	withCleanCache(t)
+	s, err := resultstore.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	SetStore(s)
+	computes := 0
+	compute := func() evalx.Result {
+		computes++
+		return evalx.Failed("m1", "r1", errors.New("build failed"))
+	}
+	k := cellTestKey("m1")
+	cachedCell(k, compute)
+	cachedCell(k, compute) // memoized within the process
+	if computes != 1 {
+		t.Fatalf("computed %d times before the boundary, want 1", computes)
+	}
+	if st := s.Stats(); st.Writes != 0 {
+		t.Errorf("errored cell was persisted: %+v", st)
+	}
+	ClearMemo() // process boundary
+	cachedCell(k, compute)
+	if computes != 2 {
+		t.Fatalf("errored cell not recomputed after process boundary: %d computes", computes)
 	}
 }

@@ -6,15 +6,20 @@ import (
 )
 
 // runWithWorkers runs one experiment at a fixed sweep worker count.
+// The in-process cell memo is cleared first so every run genuinely
+// recomputes its cells — otherwise the second worker count would just
+// replay memoized results and the determinism check would be vacuous.
 func runWithWorkers(t *testing.T, id string, workers int) *Report {
 	t.Helper()
+	ClearMemo()
+	t.Cleanup(ClearMemo)
 	SetWorkers(workers)
 	defer SetWorkers(0)
 	e, ok := Get(id)
 	if !ok {
 		t.Fatalf("experiment %s not registered", id)
 	}
-	return e.Run()
+	return Run(e)
 }
 
 // requireIdenticalValues asserts two reports carry bit-identical

@@ -1,0 +1,185 @@
+// Generic grid executor: the single place that owns cell fan-out,
+// in-process memoization and persistence for every experiment. An
+// experiment only declares its schedule (Spec), its pure per-cell
+// computation (RunCell) and its presentation (Render); the executor
+// fans the selected cells out over the bounded sweep worker pool,
+// consults the memo and the result store per cell, and persists fresh
+// results — so an interrupted sweep resumes from its completed cells
+// on the next invocation, for every grid experiment by construction.
+
+package harness
+
+import (
+	"fmt"
+	"os"
+	"reflect"
+	"sort"
+	"sync/atomic"
+
+	"fp8quant/internal/evalx"
+	"fp8quant/internal/resultstore"
+)
+
+// ErrNotSelected marks the cells of a filtered run that were excluded
+// by the filter; renderers skip them like any other errored cell.
+const ErrNotSelected = "cell not selected by the filter"
+
+// Run executes the experiment end to end: every grid cell through the
+// cache layers on the sweep worker pool, then Render.
+func Run(e Experiment) *Report {
+	g, _, err := RunGrid(e, nil)
+	if err != nil {
+		// Unreachable with a nil filter; keep the report well-formed.
+		return &Report{Text: "error: " + err.Error(), Values: map[string]float64{}}
+	}
+	return e.Render(g)
+}
+
+// RunGrid evaluates the cells of e selected by the filter (nil or
+// empty = all) and returns the grid plus the selected row-major
+// indices. Unselected cells stay zero-valued in the grid. A non-empty
+// filter that matches no cell is an error.
+func RunGrid(e Experiment, f Filter) (*Grid, []int, error) {
+	spec := e.Spec()
+	n := spec.NumCells()
+	sel := spec.Select(f)
+	if len(f) > 0 && len(sel) == 0 {
+		// Covers axis-less (scalar) experiments too: a filter can never
+		// apply to them, and succeeding silently would hide typos.
+		return nil, nil, fmt.Errorf("filter %q matches none of %s's %d cells", f.String(), e.ID(), n)
+	}
+	g := &Grid{Spec: spec, Results: make([]evalx.Result, n)}
+	if len(sel) < n {
+		// Unselected cells must not masquerade as successfully
+		// evaluated zero results: a renderer handed a partial grid
+		// would fold them into its aggregates. The Err sentinel makes
+		// every renderer skip them by the existing convention.
+		for i := range g.Results {
+			g.Results[i] = evalx.Result{Err: ErrNotSelected}
+		}
+	}
+	if len(sel) == 0 {
+		return g, sel, nil
+	}
+	var done atomic.Int64
+	reportProgress(e.ID(), 0, len(sel))
+	forEachCell(len(sel), func(k int) {
+		c := spec.CellAt(sel[k])
+		g.Results[sel[k]] = cachedCell(spec.CellKey(c), func() evalx.Result {
+			return runCellSafe(e, spec, c)
+		})
+		reportProgress(e.ID(), int(done.Add(1)), len(sel))
+	})
+	// A full run knows the complete schedule; record it once so tooling
+	// can reason about store coverage without re-deriving the spec.
+	if s := Store(); s != nil && len(sel) == n {
+		saveManifest(s, spec)
+	}
+	return g, sel, nil
+}
+
+// runCellSafe converts a RunCell panic into an Err-marked result.
+// Cells run on pool worker goroutines, where an escaped panic would
+// kill the whole process — a caller's deferred recover only covers its
+// own goroutine — so this is what makes "one failing cell/experiment
+// cannot abort the batch" hold at any worker count. Err results are
+// never persisted, so a code fix recomputes the cell.
+func runCellSafe(e Experiment, spec GridSpec, c Cell) (r evalx.Result) {
+	defer func() {
+		if p := recover(); p != nil {
+			r = evalx.Result{Err: fmt.Sprintf("panic in cell %s: %v", spec.KeyString(c), p)}
+		}
+	}()
+	return e.RunCell(c)
+}
+
+// SubGridReport renders the generic report for a filtered run: one row
+// per selected cell, with whatever the cell carries (accuracy quartet
+// and/or named metrics).
+func SubGridReport(e Experiment, g *Grid, sel []int) *Report {
+	tb := newTable("cell", "qacc", "rel loss", "pass", "metrics")
+	vals := map[string]float64{}
+	for _, i := range sel {
+		c := g.Spec.CellAt(i)
+		r := g.Results[i]
+		key := g.Spec.KeyString(c)
+		if r.Err != "" {
+			tb.add(key, "-", "-", "-", "error: "+r.Err)
+			continue
+		}
+		tb.add(key, fmt.Sprintf("%.4f", r.QAcc), fmt.Sprintf("%.2f%%", r.RelLoss*100),
+			fmt.Sprintf("%v", r.Pass), formatMetrics(r.Metrics))
+		vals["qacc_"+key] = r.QAcc
+		vals["relloss_"+key] = r.RelLoss
+		for name, v := range r.Metrics {
+			vals[name+"_"+key] = v
+		}
+	}
+	text := fmt.Sprintf("%s — %s\nsub-grid: %d of %d cells\n\n%s",
+		e.ID(), e.Title(), len(sel), g.Spec.NumCells(), tb.String())
+	return &Report{Text: text, Values: vals}
+}
+
+// formatMetrics renders a metrics map as "k=v k=v" in sorted key order.
+func formatMetrics(m map[string]float64) string {
+	if len(m) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b []byte
+	for i, k := range keys {
+		if i > 0 {
+			b = append(b, ' ')
+		}
+		b = append(b, fmt.Sprintf("%s=%.4g", k, m[k])...)
+	}
+	return string(b)
+}
+
+// saveManifest records the grid's full schedule, rewriting a stored
+// manifest that no longer matches the spec — the grid's axes can
+// legitimately change without a schema bump (a model added to the
+// zoo), and a stale manifest would misreport store coverage forever.
+func saveManifest(s *resultstore.Store, spec GridSpec) {
+	m := resultstore.Manifest{Grid: spec.ID, Seed: spec.Seed, Schema: resultstore.SchemaVersion}
+	for _, a := range spec.Axes {
+		m.Axes = append(m.Axes, resultstore.ManifestAxis{Name: a.Name, Values: a.Values})
+	}
+	n := spec.NumCells()
+	m.Cells = make([]string, n)
+	for i := 0; i < n; i++ {
+		m.Cells[i] = spec.CellKey(spec.CellAt(i)).Fingerprint()
+	}
+	if old, ok := s.LoadManifest(spec.ID, spec.Seed); ok && reflect.DeepEqual(old, m) {
+		return
+	}
+	if err := s.SaveManifest(m); err != nil {
+		fmt.Fprintf(os.Stderr, "warning: manifest write failed: %v\n", err)
+	}
+}
+
+// progressFn receives (experiment id, cells done, cells selected)
+// updates while a grid executes; installed by fp8bench for its
+// progress line. Called from worker goroutines — must be safe for
+// concurrent use.
+var progressFn atomic.Pointer[func(id string, done, total int)]
+
+// SetProgress installs (or, with nil, removes) the cell-progress
+// callback.
+func SetProgress(fn func(id string, done, total int)) {
+	if fn == nil {
+		progressFn.Store(nil)
+		return
+	}
+	progressFn.Store(&fn)
+}
+
+func reportProgress(id string, done, total int) {
+	if p := progressFn.Load(); p != nil {
+		(*p)(id, done, total)
+	}
+}

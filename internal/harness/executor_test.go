@@ -1,0 +1,341 @@
+package harness
+
+import (
+	"fmt"
+	"os"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"fp8quant/internal/evalx"
+	"fp8quant/internal/resultstore"
+)
+
+// newExecTestExp returns a cheap deterministic 3x2 grid experiment and
+// a counter of actual RunCell invocations.
+func newExecTestExp() (Experiment, *atomic.Int64) {
+	var computes atomic.Int64
+	spec := func() GridSpec {
+		return GridSpec{
+			ID:   "exec-test",
+			Seed: 3,
+			Axes: []Axis{
+				{Name: "model", Values: []string{"ma", "mb", "mc"}},
+				{Name: "recipe", Values: []string{"r1", "r2"}},
+			},
+		}
+	}
+	cell := func(c Cell) evalx.Result {
+		computes.Add(1)
+		return evalx.Result{
+			Model: c.Values[0], Recipe: c.Values[1],
+			BaseAcc: 1, QAcc: 1 - float64(c.Index)/100,
+			RelLoss: float64(c.Index) / 100, Pass: c.Index == 0,
+			Metrics: map[string]float64{"aux": float64(c.Index) * 1.5},
+		}
+	}
+	render := func(g *Grid) *Report {
+		tb := newTable("cell", "qacc", "aux")
+		vals := map[string]float64{}
+		for i, r := range g.Results {
+			key := g.Spec.KeyString(g.Spec.CellAt(i))
+			tb.add(key, fmt.Sprintf("%.4f", r.QAcc), fmt.Sprintf("%.2f", r.Metrics["aux"]))
+			vals["qacc_"+key] = r.QAcc
+		}
+		return &Report{Text: tb.String(), Values: vals}
+	}
+	return gridExp{id: "exec-test", title: "executor test grid", spec: spec, cell: cell, render: render}, &computes
+}
+
+// requireSameReport asserts byte-identical text and bit-identical
+// values between two reports.
+func requireSameReport(t *testing.T, a, b *Report, what string) {
+	t.Helper()
+	if a.Text != b.Text {
+		t.Errorf("%s: report text differs:\n--- a ---\n%s\n--- b ---\n%s", what, a.Text, b.Text)
+	}
+	if !reflect.DeepEqual(a.Values, b.Values) {
+		t.Errorf("%s: report values differ: %v vs %v", what, a.Values, b.Values)
+	}
+}
+
+// TestResumeRecomputesOnlyMissingCells is the end-to-end per-cell
+// resume contract: delete a subset of cell files from a warm store and
+// re-run — the executor must recompute exactly the deleted cells
+// (store misses == deleted cells) and the rendered report must be
+// byte-identical to the cold run, serially and at full parallelism.
+func TestResumeRecomputesOnlyMissingCells(t *testing.T) {
+	for _, workers := range []int{1, 8} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			withCleanCache(t)
+			SetWorkers(workers)
+			defer SetWorkers(0)
+			s, err := resultstore.Open(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			SetStore(s)
+			e, computes := newExecTestExp()
+			spec := e.Spec()
+			n := spec.NumCells()
+
+			cold := Run(e)
+			if got := computes.Load(); got != int64(n) {
+				t.Fatalf("cold run computed %d cells, want %d", got, n)
+			}
+			if st := s.Stats(); st.Writes != int64(n) || st.Misses != int64(n) {
+				t.Fatalf("cold run store stats = %+v, want %d misses / %d writes", st, n, n)
+			}
+
+			// Warm full run across a process boundary: zero computes.
+			ClearMemo()
+			computes.Store(0)
+			beforeWarm := s.Stats()
+			warm := Run(e)
+			if got := computes.Load(); got != 0 {
+				t.Fatalf("warm run computed %d cells, want 0", got)
+			}
+			if d := s.Stats(); d.Hits-beforeWarm.Hits != int64(n) {
+				t.Fatalf("warm run hits = %d, want %d", d.Hits-beforeWarm.Hits, n)
+			}
+			requireSameReport(t, cold, warm, "warm vs cold")
+
+			// Interrupt simulation: drop a subset of cells, re-run.
+			deleted := []int{1, 4}
+			for _, i := range deleted {
+				path := s.CellPath(spec.CellKey(spec.CellAt(i)))
+				if err := os.Remove(path); err != nil {
+					t.Fatalf("deleting cell %d: %v", i, err)
+				}
+			}
+			ClearMemo()
+			computes.Store(0)
+			before := s.Stats()
+			resumed := Run(e)
+			if got := computes.Load(); got != int64(len(deleted)) {
+				t.Fatalf("resume computed %d cells, want %d (only the deleted ones)", got, len(deleted))
+			}
+			d := s.Stats()
+			if misses := d.Misses - before.Misses; misses != int64(len(deleted)) {
+				t.Errorf("resume misses = %d, want %d", misses, len(deleted))
+			}
+			if hits := d.Hits - before.Hits; hits != int64(n-len(deleted)) {
+				t.Errorf("resume hits = %d, want %d", hits, n-len(deleted))
+			}
+			if writes := d.Writes - before.Writes; writes != int64(len(deleted)) {
+				t.Errorf("resume writes = %d, want %d", writes, len(deleted))
+			}
+			requireSameReport(t, cold, resumed, "resumed vs cold")
+		})
+	}
+}
+
+// TestRunGridRecoversCellPanic checks a panicking RunCell becomes an
+// Err-marked, never-persisted result instead of killing the process —
+// cells run on pool worker goroutines, where an escaped panic is fatal
+// regardless of any recover in the caller.
+func TestRunGridRecoversCellPanic(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		withCleanCache(t)
+		SetWorkers(workers)
+		s, err := resultstore.Open(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		SetStore(s)
+		spec := func() GridSpec {
+			return GridSpec{ID: "panic-test", Axes: []Axis{{Name: "i", Values: []string{"0", "1", "2"}}}}
+		}
+		cell := func(c Cell) evalx.Result {
+			if c.Index == 1 {
+				panic("cell blew up")
+			}
+			return evalx.Result{Model: c.Values[0], QAcc: 1}
+		}
+		e := gridExp{id: "panic-test", title: "panic test", spec: spec, cell: cell,
+			render: func(g *Grid) *Report { return &Report{Text: "ok", Values: map[string]float64{}} }}
+		g, _, err := RunGrid(e, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.Results[1].Err == "" || !strings.Contains(g.Results[1].Err, "panic") {
+			t.Errorf("workers=%d: panicking cell result = %+v, want panic Err", workers, g.Results[1])
+		}
+		if g.Results[0].Err != "" || g.Results[2].Err != "" {
+			t.Errorf("workers=%d: healthy cells affected: %+v", workers, g.Results)
+		}
+		if st := s.Stats(); st.Writes != 2 {
+			t.Errorf("workers=%d: store writes = %d, want 2 (panicked cell never persisted)", workers, st.Writes)
+		}
+		SetWorkers(0)
+	}
+}
+
+// TestRunGridFilterSelectsSubGrid checks a filter runs exactly the
+// matching cells and SubGridReport renders them.
+func TestRunGridFilterSelectsSubGrid(t *testing.T) {
+	withCleanCache(t)
+	SetStore(nil)
+	e, computes := newExecTestExp()
+	f := Filter{"model": {"mb"}}
+	g, sel, err := RunGrid(e, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel) != 2 || sel[0] != 2 || sel[1] != 3 {
+		t.Fatalf("selected cells = %v, want [2 3]", sel)
+	}
+	if got := computes.Load(); got != 2 {
+		t.Fatalf("filtered run computed %d cells, want 2", got)
+	}
+	// Unselected cells carry the sentinel Err, so a renderer handed the
+	// partial grid skips them instead of aggregating zeros.
+	if g.Results[0].Err != ErrNotSelected || g.Results[5].Err != ErrNotSelected {
+		t.Errorf("unselected cells not marked: %+v / %+v", g.Results[0], g.Results[5])
+	}
+	rep := SubGridReport(e, g, sel)
+	if !strings.Contains(rep.Text, "model=mb,recipe=r1") {
+		t.Errorf("sub-grid report missing cell row:\n%s", rep.Text)
+	}
+	if !strings.Contains(rep.Text, "2 of 6 cells") {
+		t.Errorf("sub-grid report missing selection summary:\n%s", rep.Text)
+	}
+	if _, ok := rep.Values["qacc_model=mb,recipe=r2"]; !ok {
+		t.Errorf("sub-grid values missing cell entry: %v", rep.Values)
+	}
+}
+
+// TestRunGridFilterNoMatch checks an unmatched filter is an error, not
+// a silent full run.
+func TestRunGridFilterNoMatch(t *testing.T) {
+	withCleanCache(t)
+	SetStore(nil)
+	e, computes := newExecTestExp()
+	if _, _, err := RunGrid(e, Filter{"model": {"nope"}}); err == nil {
+		t.Fatal("unmatched filter should error")
+	}
+	if _, _, err := RunGrid(e, Filter{"no-such-axis": {"x"}}); err == nil {
+		t.Fatal("unknown filter axis should error")
+	}
+	if got := computes.Load(); got != 0 {
+		t.Fatalf("unmatched filter computed %d cells, want 0", got)
+	}
+	// A filter can never apply to an axis-less (scalar) experiment —
+	// that must error too, not silently succeed with zero cells.
+	scalar, _ := Get("fig1")
+	if _, _, err := RunGrid(scalar, Filter{"model": {"resnet50"}}); err == nil {
+		t.Fatal("filter on a scalar experiment should error")
+	}
+}
+
+// TestRunGridWritesManifest checks a full run records the grid
+// schedule once.
+func TestRunGridWritesManifest(t *testing.T) {
+	withCleanCache(t)
+	s, err := resultstore.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	SetStore(s)
+	e, _ := newExecTestExp()
+	Run(e)
+	spec := e.Spec()
+	m, ok := s.LoadManifest(spec.ID, spec.Seed)
+	if !ok {
+		t.Fatal("full run should write a grid manifest")
+	}
+	if len(m.Cells) != spec.NumCells() || len(m.Axes) != len(spec.Axes) {
+		t.Errorf("manifest shape = %d cells / %d axes, want %d / %d",
+			len(m.Cells), len(m.Axes), spec.NumCells(), len(spec.Axes))
+	}
+	if m.Cells[0] != spec.CellKey(spec.CellAt(0)).Fingerprint() {
+		t.Error("manifest cell fingerprints disagree with the spec")
+	}
+}
+
+// TestScalarExperimentRuns checks axis-less experiments execute
+// entirely in Render with no store traffic.
+func TestScalarExperimentRuns(t *testing.T) {
+	withCleanCache(t)
+	s, err := resultstore.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	SetStore(s)
+	e, _ := Get("fig3")
+	rep := Run(e)
+	if len(rep.Values) == 0 {
+		t.Fatal("scalar experiment produced no values")
+	}
+	if st := s.Stats(); st.Hits+st.Misses+st.Writes != 0 {
+		t.Errorf("scalar experiment touched the store: %+v", st)
+	}
+}
+
+// TestParseFilter covers the -filter syntax.
+func TestParseFilter(t *testing.T) {
+	f, err := ParseFilter("model=resnet50;densenet121,recipe=E4M3 Static")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Filter{
+		"model":  {"resnet50", "densenet121"},
+		"recipe": {"E4M3 Static"},
+	}
+	if !reflect.DeepEqual(f, want) {
+		t.Errorf("ParseFilter = %v, want %v", f, want)
+	}
+	// Whitespace around separators must not leak into values — an
+	// untrimmed " densenet121" would silently match nothing.
+	f, err = ParseFilter(" model = resnet50 ; densenet121 ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(f, Filter{"model": {"resnet50", "densenet121"}}) {
+		t.Errorf("ParseFilter with spaces = %v", f)
+	}
+	if f, err := ParseFilter(""); err != nil || f != nil {
+		t.Errorf("empty filter = %v, %v; want nil, nil", f, err)
+	}
+	for _, bad := range []string{"model", "=x", "model="} {
+		if _, err := ParseFilter(bad); err == nil {
+			t.Errorf("ParseFilter(%q) should error", bad)
+		}
+	}
+}
+
+// TestGridSpecCellOrder pins the row-major cell order and key shape.
+func TestGridSpecCellOrder(t *testing.T) {
+	e, _ := newExecTestExp()
+	spec := e.Spec()
+	c := spec.CellAt(3)
+	if c.Values[0] != "mb" || c.Values[1] != "r2" {
+		t.Errorf("cell 3 = %v, want [mb r2] (row-major, last axis fastest)", c.Values)
+	}
+	if got := spec.KeyString(c); got != "model=mb,recipe=r2" {
+		t.Errorf("KeyString = %q", got)
+	}
+	k := spec.CellKey(c)
+	if k.Grid != "exec-test" || k.Seed != 3 || k.Schema != resultstore.SchemaVersion {
+		t.Errorf("cell key = %+v", k)
+	}
+	// Sibling cells must have distinct fingerprints.
+	k2 := spec.CellKey(spec.CellAt(2))
+	if k.Fingerprint() == k2.Fingerprint() {
+		t.Error("distinct cells share a fingerprint")
+	}
+}
+
+// TestSharedGridExperimentsShareCells checks table2/fig4/fig5 declare
+// the identical sweep grid, so their cells are shared by construction.
+func TestSharedGridExperimentsShareCells(t *testing.T) {
+	t2, _ := Get("table2")
+	f4, _ := Get("fig4")
+	f5, _ := Get("fig5")
+	s2, s4, s5 := t2.Spec(), f4.Spec(), f5.Spec()
+	k2 := s2.CellKey(s2.CellAt(0)).Fingerprint()
+	if k2 != s4.CellKey(s4.CellAt(0)).Fingerprint() || k2 != s5.CellKey(s5.CellAt(0)).Fingerprint() {
+		t.Error("table2/fig4/fig5 should share cell fingerprints")
+	}
+}

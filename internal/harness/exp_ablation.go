@@ -3,32 +3,33 @@ package harness
 import (
 	"fmt"
 
+	"fp8quant/internal/evalx"
 	"fp8quant/internal/fp8"
 	"fp8quant/internal/quant"
 	"fp8quant/internal/tensor"
 )
 
 func init() {
-	registerExp(Experiment{
-		ID:    "ablation-wgt",
-		Title: "Ablation: per-channel vs per-tensor weight scaling (Section 3.1 recommendation)",
-		Run:   runWeightScalingAblation,
-	})
-	registerExp(Experiment{
-		ID:    "ablation-calib",
-		Title: "Ablation: range-calibration algorithms (max vs KL vs MSE vs percentile)",
-		Run:   runCalibAblation,
-	})
+	registerGrid("ablation-wgt",
+		"Ablation: per-channel vs per-tensor weight scaling (Section 3.1 recommendation)",
+		ablationWgtSpec, runAblationWgtCell, renderAblationWgt)
+	registerGrid("ablation-calib",
+		"Ablation: range-calibration algorithms (max vs KL vs MSE vs percentile)",
+		ablationCalibSpec, runAblationCalibCell, renderAblationCalib)
 }
 
-// runWeightScalingAblation quantifies Section 3.1's recommendation:
-// per-channel weight scaling reduces rounding error by using the full
-// encoding space per channel, especially under realistic per-channel
-// std spread.
-func runWeightScalingAblation() *Report {
-	r := tensor.NewRNG(0xAB1A)
+// ---- ablation-wgt ----
+
+var ablationWgtDTypes = []quant.DType{quant.E5M2, quant.E4M3, quant.E3M4, quant.INT8}
+
+const ablationWgtSeed = 0xAB1A
+
+// ablationWgtWeight deterministically rebuilds the study weight: 8x
+// per-channel std spread (trained-net realism). Each cell builds its
+// own copy, so cells quantize in isolation.
+func ablationWgtWeight() *tensor.Tensor {
+	r := tensor.NewRNG(ablationWgtSeed)
 	const out, in = 64, 64
-	// Weight with 8x per-channel std spread (trained-net realism).
 	w := tensor.New(out, in)
 	for o := 0; o < out; o++ {
 		std := 0.02 * float64(uint(1)<<(uint(o)%4)) // 0.02..0.16
@@ -36,21 +37,53 @@ func runWeightScalingAblation() *Report {
 			w.Data[o*in+i] = float32(std * r.Norm())
 		}
 	}
+	return w
+}
+
+func ablationWgtSpec() GridSpec {
+	fms := make([]string, len(ablationWgtDTypes))
+	for i, d := range ablationWgtDTypes {
+		fms[i] = d.String()
+	}
+	return GridSpec{
+		ID:   "ablation-wgt",
+		Seed: ablationWgtSeed,
+		Axes: []Axis{
+			{Name: "format", Values: fms},
+			{Name: "granularity", Values: []string{"per-tensor", "per-channel"}},
+		},
+	}
+}
+
+// runAblationWgtCell quantizes one (format, granularity) copy of the
+// spread weight and reports its rounding MSE.
+func runAblationWgtCell(c Cell) evalx.Result {
+	d := ablationWgtDTypes[c.Coords[0]]
+	w := ablationWgtWeight()
+	q := w.Clone()
+	if c.Coords[1] == 0 {
+		quant.QuantizeWeightPerTensor(q, d)
+	} else {
+		quant.QuantizeWeightPerChannel(q, 0, d)
+	}
+	return evalx.Result{
+		Model: "spread-weight", Recipe: d.String() + " " + c.Values[1],
+		Metrics: map[string]float64{"mse": tensor.MSE(w.Data, q.Data)},
+	}
+}
+
+func renderAblationWgt(g *Grid) *Report {
 	tb := newTable("format", "per-tensor MSE", "per-channel MSE", "improvement")
 	vals := map[string]float64{}
-	dtypes := []quant.DType{quant.E5M2, quant.E4M3, quant.E3M4, quant.INT8}
-	// One cell per format; w is read-only, each cell quantizes clones.
-	type cell struct{ mseT, mseC float64 }
-	cells := collectCells(len(dtypes), func(i int) cell {
-		wt := w.Clone()
-		quant.QuantizeWeightPerTensor(wt, dtypes[i])
-		wc := w.Clone()
-		quant.QuantizeWeightPerChannel(wc, 0, dtypes[i])
-		return cell{mseT: tensor.MSE(w.Data, wt.Data), mseC: tensor.MSE(w.Data, wc.Data)}
-	})
-	for i, d := range dtypes {
-		imp := cells[i].mseT / cells[i].mseC
-		tb.add(d.String(), fmt.Sprintf("%.3e", cells[i].mseT), fmt.Sprintf("%.3e", cells[i].mseC),
+	for fi, d := range ablationWgtDTypes {
+		rt, rc := g.At(fi, 0), g.At(fi, 1)
+		if rt.Err != "" || rc.Err != "" {
+			tb.add(d.String(), "error: "+rt.Err+rc.Err)
+			continue
+		}
+		mseT, mseC := rt.Metrics["mse"], rc.Metrics["mse"]
+		imp := mseT / mseC
+		tb.add(d.String(), fmt.Sprintf("%.3e", mseT), fmt.Sprintf("%.3e", mseC),
 			fmt.Sprintf("%.1fx", imp))
 		vals["ratio_"+d.String()] = imp
 	}
@@ -62,43 +95,69 @@ func runWeightScalingAblation() *Report {
 	}
 }
 
-// runCalibAblation compares range-calibration algorithms on the two
-// canonical tensor classes, reproducing the paper's conclusion that
-// simple max scaling is sufficient for FP8 (Section 3 / Appendix A.1).
-func runCalibAblation() *Report {
-	r := tensor.NewRNG(0xAB1B)
-	mkOutlier := func() []float32 {
-		x := make([]float32, 65536)
-		for i := range x {
-			x[i] = float32(r.Norm())
-		}
-		for i := 0; i < len(x)/200; i++ {
-			x[r.Intn(len(x))] = float32(r.Uniform(30, 40))
-		}
-		return x
+// ---- ablation-calib ----
+
+var ablationCalibMethods = []quant.CalibMethod{
+	quant.CalibMax, quant.CalibKL, quant.CalibMSE, quant.CalibPercentile,
+}
+
+const ablationCalibSeed = 0xAB1B
+
+// ablationCalibTensor deterministically rebuilds the outlier-rich
+// study tensor; each cell owns its copy and its observer.
+func ablationCalibTensor() []float32 {
+	r := tensor.NewRNG(ablationCalibSeed)
+	x := make([]float32, 65536)
+	for i := range x {
+		x[i] = float32(r.Norm())
 	}
+	for i := 0; i < len(x)/200; i++ {
+		x[r.Intn(len(x))] = float32(r.Uniform(30, 40))
+	}
+	return x
+}
+
+func ablationCalibSpec() GridSpec {
+	ms := make([]string, len(ablationCalibMethods))
+	for i, m := range ablationCalibMethods {
+		ms[i] = m.String()
+	}
+	return GridSpec{
+		ID:   "ablation-calib",
+		Seed: ablationCalibSeed,
+		Axes: []Axis{{Name: "method", Values: ms}},
+	}
+}
+
+func runAblationCalibCell(c Cell) evalx.Result {
+	m := ablationCalibMethods[c.Index]
+	x := ablationCalibTensor()
+	obs := quant.NewObserver(m)
+	obs.Observe(x)
+	th := quant.CalibratedThreshold(obs, m, func(t float64) quant.Quantizer {
+		return quant.NewScaledFP8(fp8.E4M3, t)
+	})
+	mse := quantMSE(x, clipThen(th, func(v float64) float64 {
+		scale := fp8.E4M3.MaxValue() / th
+		return fp8.E4M3.Quantize(v*scale) / scale
+	}))
+	return evalx.Result{
+		Model: "nlp-outliers", Recipe: m.String(),
+		Metrics: map[string]float64{"threshold": th, "mse": mse},
+	}
+}
+
+func renderAblationCalib(g *Grid) *Report {
 	tb := newTable("tensor", "method", "threshold", "E4M3 MSE")
 	vals := map[string]float64{}
-	x := mkOutlier()
-	methods := []quant.CalibMethod{quant.CalibMax, quant.CalibKL, quant.CalibMSE, quant.CalibPercentile}
-	// One cell per calibration method; x is read-only and each cell
-	// owns its observer, so the methods calibrate concurrently.
-	type cell struct{ th, mse float64 }
-	cells := collectCells(len(methods), func(i int) cell {
-		obs := quant.NewObserver(methods[i])
-		obs.Observe(x)
-		th := quant.CalibratedThreshold(obs, methods[i], func(t float64) quant.Quantizer {
-			return quant.NewScaledFP8(fp8.E4M3, t)
-		})
-		mse := quantMSE(x, clipThen(th, func(v float64) float64 {
-			scale := fp8.E4M3.MaxValue() / th
-			return fp8.E4M3.Quantize(v*scale) / scale
-		}))
-		return cell{th: th, mse: mse}
-	})
-	for i, m := range methods {
-		tb.add("nlp-outliers", m.String(), fmt.Sprintf("%.2f", cells[i].th), fmt.Sprintf("%.3e", cells[i].mse))
-		vals["mse_"+m.String()] = cells[i].mse
+	for i, m := range ablationCalibMethods {
+		r := g.Results[i]
+		if r.Err != "" {
+			tb.add("nlp-outliers", m.String(), "error: "+r.Err, "")
+			continue
+		}
+		tb.add("nlp-outliers", m.String(), fmt.Sprintf("%.2f", r.Metrics["threshold"]), fmt.Sprintf("%.3e", r.Metrics["mse"]))
+		vals["mse_"+m.String()] = r.Metrics["mse"]
 	}
 	return &Report{
 		Text: "Range-calibration ablation on an outlier-rich tensor: for E4M3, max scaling\n" +

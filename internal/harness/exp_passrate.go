@@ -1,98 +1,108 @@
 package harness
 
 import (
+	"errors"
 	"fmt"
-	"math"
 
 	"fp8quant/internal/data"
 	"fp8quant/internal/evalx"
 	"fp8quant/internal/models"
 	"fp8quant/internal/quant"
-	"fp8quant/internal/resultstore"
 )
 
 func init() {
-	registerExp(Experiment{ID: "table2", Title: "Table 2: workload pass rate", Run: runTable2})
-	registerExp(Experiment{ID: "fig4", Title: "Figure 4: accuracy-loss variability CV vs NLP", Run: runFig4})
-	registerExp(Experiment{ID: "table3", Title: "Table 3: representative model accuracy", Run: runTable3})
-	registerExp(Experiment{ID: "fig5", Title: "Figure 5: accuracy loss by model size", Run: runFig5})
-	registerExp(Experiment{ID: "fig7", Title: "Figure 7: BatchNorm calibration sample size and transform", Run: runFig7})
-	registerExp(Experiment{ID: "table5", Title: "Table 5: single vs mixed FP8 formats", Run: runTable5})
-	registerExp(Experiment{ID: "table6", Title: "Table 6: static vs dynamic quantization", Run: runTable6})
-	registerExp(Experiment{ID: "fig9", Title: "Figure 9: extended quantization recipes", Run: runFig9})
-	registerExp(Experiment{ID: "firstlast", Title: "Section 4.3.1: quantizing first and last operators", Run: runFirstLast})
+	registerGrid("table2", "Table 2: workload pass rate", sweepSpec, runSweepCell, renderTable2)
+	registerGrid("fig4", "Figure 4: accuracy-loss variability CV vs NLP", sweepSpec, runSweepCell, renderFig4)
+	registerGrid("table3", "Table 3: representative model accuracy", table3Spec, runTable3Cell, renderTable3)
+	registerGrid("fig5", "Figure 5: accuracy loss by model size", sweepSpec, runSweepCell, renderFig5)
+	registerGrid("fig7", "Figure 7: BatchNorm calibration sample size and transform", fig7Spec, runFig7Cell, renderFig7)
+	registerGrid("table5", "Table 5: single vs mixed FP8 formats", table5Spec, runTable5Cell, renderTable5)
+	registerGrid("table6", "Table 6: static vs dynamic quantization", table6Spec, runTable6Cell, renderTable6)
+	registerGrid("fig9", "Figure 9: extended quantization recipes", fig9Spec, runFig9Cell, renderFig9)
+	registerGrid("firstlast", "Section 4.3.1: quantizing first and last operators", firstLastSpec, runFirstLastCell, renderFirstLast)
 }
 
-// table2Recipes builds the per-model Table 2 recipe set. The INT8 row
-// follows the paper: static on CV, dynamic on NLP-like workloads.
-func table2Recipes(net *models.Network) []quant.Recipe {
-	return []quant.Recipe{
-		quant.StandardFP8(quant.E5M2),
-		quant.StandardFP8(quant.E4M3),
-		quant.DynamicFP8(quant.E4M3),
-		quant.StandardFP8(quant.E3M4),
-		quant.DynamicFP8(quant.E3M4),
-		quant.StandardINT8(net.Meta.Domain != models.CV),
+// ---- the shared Table-2 sweep grid (table2, fig4, fig5) ----
+
+// sweepRecipes pairs each Table 2 column label with its recipe
+// constructor in one slice — the label becomes part of the persisted
+// cell identity, so label and recipe must be impossible to reorder
+// independently. The INT8 column follows the paper: static on CV,
+// dynamic on NLP-like workloads.
+var sweepRecipes = []struct {
+	label  string
+	recipe func(net *models.Network) quant.Recipe
+}{
+	{"E5M2 Direct", func(*models.Network) quant.Recipe { return quant.StandardFP8(quant.E5M2) }},
+	{"E4M3 Static", func(*models.Network) quant.Recipe { return quant.StandardFP8(quant.E4M3) }},
+	{"E4M3 Dynamic", func(*models.Network) quant.Recipe { return quant.DynamicFP8(quant.E4M3) }},
+	{"E3M4 Static", func(*models.Network) quant.Recipe { return quant.StandardFP8(quant.E3M4) }},
+	{"E3M4 Dynamic", func(*models.Network) quant.Recipe { return quant.DynamicFP8(quant.E3M4) }},
+	{"INT8 Static CV | Dynamic NLP", func(net *models.Network) quant.Recipe {
+		return quant.StandardINT8(net.Meta.Domain != models.CV)
+	}},
+}
+
+var table2Labels = recipeLabels(sweepRecipes)
+
+// recipeLabels projects the label column of a label+constructor slice.
+func recipeLabels(rs []struct {
+	label  string
+	recipe func(net *models.Network) quant.Recipe
+}) []string {
+	out := make([]string, len(rs))
+	for i, r := range rs {
+		out[i] = r.label
+	}
+	return out
+}
+
+// sweepSpecFor declares the Table-2-recipe sweep over the named
+// models. Model weights derive from per-name seeds, so the
+// experiment-level seed is constant.
+func sweepSpecFor(names []string) GridSpec {
+	return GridSpec{
+		ID: "table2-sweep",
+		Axes: []Axis{
+			{Name: "model", Values: names},
+			{Name: "recipe", Values: table2Labels},
+		},
 	}
 }
 
-var table2Labels = []string{
-	"E5M2 Direct", "E4M3 Static", "E4M3 Dynamic",
-	"E3M4 Static", "E3M4 Dynamic", "INT8 Static CV | Dynamic NLP",
-}
+// sweepSpec is the all-model sweep grid that table2, fig4 and fig5 all
+// declare: because the grid id and axes are identical, the three
+// experiments share memoized and persisted cells.
+func sweepSpec() GridSpec { return sweepSpecFor(models.Names()) }
 
-// sweepKey is the content address of a Table-2-recipe sweep over the
-// named models. Model weights derive from per-name seeds, so the
-// experiment-level seed is constant; Schema tracks evaluation-code
-// changes that would invalidate stored grids.
-func sweepKey(names []string) resultstore.Key {
-	return resultstore.Key{
-		Experiment: "table2-sweep",
-		Models:     names,
-		Recipes:    table2Labels,
-		Seed:       0,
-		Schema:     resultstore.SchemaVersion,
+// runSweepCell evaluates one (model, recipe) cell of the sweep.
+func runSweepCell(c Cell) evalx.Result {
+	name, ri := c.Values[0], c.Coords[1]
+	net, err := models.Build(name)
+	if err != nil {
+		return evalx.Failed(name, c.Values[1], err)
 	}
+	return evalx.EvaluateWithRef(net, sweepRecipes[ri].recipe(net), true, modelRef(name, net))
 }
 
-// sweepAllModels returns the all-model Table 2 sweep that table2, fig4
-// and fig5 all consume: memoized in-process and, when a result store is
-// configured, persisted across fp8bench invocations.
-func sweepAllModels() [][]evalx.Result {
-	names := models.Names()
-	return cachedGrid(sweepKey(names), func() [][]evalx.Result {
-		return sweepAll(names)
-	})
-}
-
-// sweepAll evaluates the Table 2 recipe set on the named models across
-// the sweep worker pool, returning results indexed [model][recipe].
-func sweepAll(names []string) [][]evalx.Result {
-	return collectCells(len(names), func(i int) []evalx.Result {
-		net, err := models.Build(names[i])
-		if err != nil {
-			return nil
-		}
-		return evalx.EvaluateRecipes(net, table2Recipes(net), true)
-	})
-}
-
-func column(all [][]evalx.Result, ri int) []evalx.Result {
-	col := make([]evalx.Result, 0, len(all))
-	for _, row := range all {
-		if ri < len(row) {
-			col = append(col, row[ri])
+// gridColumn returns the evaluable results of one recipe column,
+// skipping cells whose model failed to build.
+func gridColumn(g *Grid, ri int) []evalx.Result {
+	nm := len(g.Spec.Axes[0].Values)
+	col := make([]evalx.Result, 0, nm)
+	for mi := 0; mi < nm; mi++ {
+		if r := g.At(mi, ri); r.Err == "" {
+			col = append(col, r)
 		}
 	}
 	return col
 }
 
-func runTable2() *Report {
-	all := sweepAllModels()
+func renderTable2(g *Grid) *Report {
 	tb := newTable("Data Type / Approach", "Pass Rate (CV)", "Pass Rate (NLP)", "Pass Rate (All)")
 	vals := map[string]float64{}
 	for ri, label := range table2Labels {
-		pr := evalx.AggregatePassRates(column(all, ri))
+		pr := evalx.AggregatePassRates(gridColumn(g, ri))
 		tb.add(label, pct(pr.CV), pct(pr.NLP), pct(pr.All))
 		vals["cv_"+label] = pr.CV
 		vals["nlp_"+label] = pr.NLP
@@ -104,8 +114,7 @@ func runTable2() *Report {
 	}
 }
 
-func runFig4() *Report {
-	all := sweepAllModels()
+func renderFig4(g *Grid) *Report {
 	// Figure 4 plots loss variability per format for CV and NLP:
 	// E5M2, E4M3 (static), E3M4 (static), INT8.
 	idx := map[string]int{"E5M2": 0, "E4M3": 1, "E3M4": 3, "INT8": 5}
@@ -114,7 +123,7 @@ func runFig4() *Report {
 	for _, fmtName := range []string{"E5M2", "E4M3", "E3M4", "INT8"} {
 		for _, dom := range []models.Domain{models.CV, models.NLP} {
 			var losses []float64
-			for _, r := range column(all, idx[fmtName]) {
+			for _, r := range gridColumn(g, idx[fmtName]) {
 				if r.Domain == dom {
 					losses = append(losses, r.RelLoss*100)
 				}
@@ -135,55 +144,7 @@ func runFig4() *Report {
 	}
 }
 
-// table3Models mirrors the representative sample of Table 3.
-var table3Models = []string{
-	"resnet50", "densenet121", "wav2vec2_librispeech", "dlrm_criteo",
-	"bert_base_stsb", "bert_large_cola", "distilbert_mrpc",
-	"bloom_7b1", "bloom_176b", "llama_65b",
-}
-
-func runTable3() *Report {
-	tb := newTable("Model", "Task", "FP32", "E5M2", "E4M3", "E3M4", "INT8")
-	vals := map[string]float64{}
-	type row struct {
-		task string
-		res  []evalx.Result
-	}
-	rows := collectCells(len(table3Models), func(i int) row {
-		net, err := models.Build(table3Models[i])
-		if err != nil {
-			return row{}
-		}
-		recipes := []quant.Recipe{
-			quant.StandardFP8(quant.E5M2),
-			quant.StandardFP8(quant.E4M3),
-			quant.StandardFP8(quant.E3M4),
-			quant.StandardINT8(net.Meta.Domain != models.CV),
-		}
-		return row{net.Meta.Task, evalx.EvaluateRecipes(net, recipes, true)}
-	})
-	for i, name := range table3Models {
-		res := rows[i].res
-		if len(res) < 4 {
-			continue
-		}
-		tb.add(name, rows[i].task, "1.0000",
-			fmt.Sprintf("%.4f", res[0].QAcc), fmt.Sprintf("%.4f", res[1].QAcc),
-			fmt.Sprintf("%.4f", res[2].QAcc), fmt.Sprintf("%.4f", res[3].QAcc))
-		vals[name+"_E4M3"] = res[1].QAcc
-		vals[name+"_E3M4"] = res[2].QAcc
-		vals[name+"_INT8"] = res[3].QAcc
-		vals[name+"_E5M2"] = res[0].QAcc
-	}
-	return &Report{
-		Text: "Table 3 reproduction: teacher-is-truth accuracy of representative models\n" +
-			"(FP32 reference accuracy is 1.0 by construction; paper reports task metrics).\n\n" + tb.String(),
-		Values: vals,
-	}
-}
-
-func runFig5() *Report {
-	all := sweepAllModels()
+func renderFig5(g *Grid) *Report {
 	idx := map[string]int{"E5M2": 0, "E4M3": 1, "E3M4": 3, "INT8": 5}
 	classes := []string{"tiny", "small", "medium", "large"}
 	tb := newTable("domain", "size class", "format", "mean loss", "max loss", "n")
@@ -192,7 +153,7 @@ func runFig5() *Report {
 		for _, sc := range classes {
 			for _, f := range []string{"E5M2", "E4M3", "E3M4", "INT8"} {
 				var losses []float64
-				for _, r := range column(all, idx[f]) {
+				for _, r := range gridColumn(g, idx[f]) {
 					info, _ := models.InfoFor(r.Model)
 					if r.Domain == dom && info.SizeClass() == sc {
 						losses = append(losses, r.RelLoss*100)
@@ -214,6 +175,81 @@ func runFig5() *Report {
 	}
 }
 
+// ---- table3 ----
+
+// table3Models mirrors the representative sample of Table 3.
+var table3Models = []string{
+	"resnet50", "densenet121", "wav2vec2_librispeech", "dlrm_criteo",
+	"bert_base_stsb", "bert_large_cola", "distilbert_mrpc",
+	"bloom_7b1", "bloom_176b", "llama_65b",
+}
+
+// table3Recipes pairs column labels with recipe constructors (see
+// sweepRecipes on why they live in one slice).
+var table3Recipes = []struct {
+	label  string
+	recipe func(net *models.Network) quant.Recipe
+}{
+	{"E5M2", func(*models.Network) quant.Recipe { return quant.StandardFP8(quant.E5M2) }},
+	{"E4M3", func(*models.Network) quant.Recipe { return quant.StandardFP8(quant.E4M3) }},
+	{"E3M4", func(*models.Network) quant.Recipe { return quant.StandardFP8(quant.E3M4) }},
+	{"INT8", func(net *models.Network) quant.Recipe {
+		return quant.StandardINT8(net.Meta.Domain != models.CV)
+	}},
+}
+
+func table3Spec() GridSpec {
+	return GridSpec{
+		ID: "table3",
+		Axes: []Axis{
+			{Name: "model", Values: table3Models},
+			{Name: "recipe", Values: recipeLabels(table3Recipes)},
+		},
+	}
+}
+
+func runTable3Cell(c Cell) evalx.Result {
+	name, ri := c.Values[0], c.Coords[1]
+	net, err := models.Build(name)
+	if err != nil {
+		return evalx.Failed(name, c.Values[1], err)
+	}
+	return evalx.EvaluateWithRef(net, table3Recipes[ri].recipe(net), true, modelRef(name, net))
+}
+
+func renderTable3(g *Grid) *Report {
+	tb := newTable("Model", "Task", "FP32", "E5M2", "E4M3", "E3M4", "INT8")
+	vals := map[string]float64{}
+	for mi, name := range table3Models {
+		res := make([]evalx.Result, len(table3Recipes))
+		ok := true
+		for ri := range table3Recipes {
+			res[ri] = g.At(mi, ri)
+			if res[ri].Err != "" {
+				ok = false
+			}
+		}
+		if !ok {
+			continue
+		}
+		info, _ := models.InfoFor(name)
+		tb.add(name, info.Task, "1.0000",
+			fmt.Sprintf("%.4f", res[0].QAcc), fmt.Sprintf("%.4f", res[1].QAcc),
+			fmt.Sprintf("%.4f", res[2].QAcc), fmt.Sprintf("%.4f", res[3].QAcc))
+		vals[name+"_E4M3"] = res[1].QAcc
+		vals[name+"_E3M4"] = res[2].QAcc
+		vals[name+"_INT8"] = res[3].QAcc
+		vals[name+"_E5M2"] = res[0].QAcc
+	}
+	return &Report{
+		Text: "Table 3 reproduction: teacher-is-truth accuracy of representative models\n" +
+			"(FP32 reference accuracy is 1.0 by construction; paper reports task metrics).\n\n" + tb.String(),
+		Values: vals,
+	}
+}
+
+// ---- fig7 ----
+
 // fig7Models are BatchNorm CV models from the Figure 7 list (the
 // cheaper half — the full list is available in the zoo but the single
 // pass-rate protocol already covers it; see DESIGN.md on runtime).
@@ -222,59 +258,89 @@ var fig7Models = []string{
 	"shufflenet_v2", "densenet121", "efficientnet_b0", "squeezenet",
 }
 
-func runFig7() *Report {
-	// Sample-size x transform grid: {300, 3k, 10k} samples with the
-	// training transform, plus 3k with the inference transform.
-	type cfg struct {
-		label     string
-		samples   int
-		transform data.Transform
+// fig7Cfgs is the sample-size x transform calibration grid: {300, 3K,
+// 10K} paper sample counts scaled down ~3x to match the zoo's
+// scaled-down models (see DESIGN.md §5), plus 3K with the inference
+// transform.
+var fig7Cfgs = []struct {
+	label     string
+	samples   int
+	transform data.Transform
+}{
+	{"100 Samples + Training", 100, data.AugmentTraining},
+	{"3.2K Samples + Training", 3200, data.AugmentTraining},
+	{"1K Samples + Inference", 1000, data.AugmentInference},
+	{"1K Samples + Training", 1000, data.AugmentTraining},
+}
+
+var errNoBatchNorm = errors.New("model has no BatchNorm")
+
+func fig7Spec() GridSpec {
+	labels := make([]string, len(fig7Cfgs))
+	for i, c := range fig7Cfgs {
+		labels[i] = c.label
 	}
-	// Sample counts are the paper's {300, 3K, 10K} scaled down ~3x to
-	// match the zoo's scaled-down models (see DESIGN.md §5).
-	cfgs := []cfg{
-		{"100 Samples + Training", 100, data.AugmentTraining},
-		{"3.2K Samples + Training", 3200, data.AugmentTraining},
-		{"1K Samples + Inference", 1000, data.AugmentInference},
-		{"1K Samples + Training", 1000, data.AugmentTraining},
+	return GridSpec{
+		ID:   "fig7",
+		Seed: 0xF167,
+		Axes: []Axis{
+			{Name: "model", Values: fig7Models},
+			{Name: "calib", Values: labels},
+		},
 	}
-	tb := newTable("model", cfgs[0].label, cfgs[1].label, cfgs[2].label, cfgs[3].label)
+}
+
+func runFig7Cell(c Cell) evalx.Result {
+	name, ci := c.Values[0], c.Coords[1]
+	cfg := fig7Cfgs[ci]
+	net, err := models.Build(name)
+	if err != nil {
+		return evalx.Failed(name, cfg.label, err)
+	}
+	if !net.Meta.HasBN {
+		return evalx.Failed(name, cfg.label, errNoBatchNorm)
+	}
+	ref := modelRef(name, net)
+	// Batches of 16 images -> sample count / 16 BN batches.
+	bnBatches := cfg.samples / 16
+	if bnBatches < 1 {
+		bnBatches = 1
+	}
+	ds := &data.ImageDataset{N: 16, C: 3, H: 12, W: 12,
+		NumBatches: bnBatches, Seed: 0xF167, Transform: cfg.transform}
+	r := quant.StandardFP8(quant.E4M3)
+	r.CalibBatches = evalx.CalibBatches
+	r = r.WithBNCalib(bnBatches)
+	loss := evaluateBNConfig(net, ds, r, ref)
+	return evalx.Result{
+		Model: name, Domain: net.Meta.Domain, Recipe: cfg.label,
+		BaseAcc: 1, QAcc: 1 - loss, RelLoss: loss, Pass: data.Passes(1.0, 1-loss),
+	}
+}
+
+func renderFig7(g *Grid) *Report {
+	tb := newTable("model", fig7Cfgs[0].label, fig7Cfgs[1].label, fig7Cfgs[2].label, fig7Cfgs[3].label)
 	vals := map[string]float64{}
-	// One sweep cell per model; the four calibration configs reuse the
-	// cell's model build and FP32 reference.
-	losses := collectCells(len(fig7Models), func(i int) []float64 {
-		net, err := models.Build(fig7Models[i])
-		if err != nil || !net.Meta.HasBN {
-			return nil
-		}
-		ref := evalx.ComputeReference(net)
-		out := make([]float64, len(cfgs))
-		for ci, c := range cfgs {
-			// Batches of 16 images -> sample count / 16 BN batches.
-			bnBatches := c.samples / 16
-			if bnBatches < 1 {
-				bnBatches = 1
+	for mi, name := range fig7Models {
+		row := []string{name}
+		ok := true
+		for ci := range fig7Cfgs {
+			r := g.At(mi, ci)
+			if r.Err != "" {
+				ok = false
+				break
 			}
-			ds := &data.ImageDataset{N: 16, C: 3, H: 12, W: 12,
-				NumBatches: bnBatches, Seed: 0xF167, Transform: c.transform}
-			r := quant.StandardFP8(quant.E4M3)
-			r.CalibBatches = evalx.CalibBatches
-			r = r.WithBNCalib(bnBatches)
-			out[ci] = evaluateBNConfig(net, ds, r, ref)
+			row = append(row, fmt.Sprintf("%.2f%%", r.RelLoss*100))
 		}
-		return out
-	})
-	for i, name := range fig7Models {
-		if losses[i] == nil {
+		// Values are written only for fully evaluated rows, so a model
+		// dropped from the table never leaks a partial subset.
+		if !ok {
 			continue
 		}
-		row := []string{name}
-		for ci, c := range cfgs {
-			loss := losses[i][ci]
-			row = append(row, fmt.Sprintf("%.2f%%", loss*100))
-			vals[name+"_"+c.label] = loss * 100
-		}
 		tb.add(row...)
+		for ci, cfg := range fig7Cfgs {
+			vals[name+"_"+cfg.label] = g.At(mi, ci).RelLoss * 100
+		}
 	}
 	return &Report{
 		Text: "Figure 7 reproduction: accuracy loss after E4M3 quantization with BatchNorm\n" +
@@ -292,35 +358,59 @@ func evaluateBNConfig(net *models.Network, ds data.Dataset, r quant.Recipe, ref 
 	return data.RelativeLoss(1.0, acc)
 }
 
+// ---- table5 ----
+
 // table5Models are the mixed-format study models of Table 5.
 var table5Models = []string{"bert_base_mrpc", "bert_large_rte", "funnel_mrpc", "longformer_mrpc"}
 
-func runTable5() *Report {
+// table5Recipes pairs column labels with recipe constructors (see
+// sweepRecipes on why they live in one slice).
+var table5Recipes = []struct {
+	label  string
+	recipe func(net *models.Network) quant.Recipe
+}{
+	{"E5M2", func(*models.Network) quant.Recipe { return quant.StandardFP8(quant.E5M2) }},
+	{"E4M3", func(*models.Network) quant.Recipe { return quant.StandardFP8(quant.E4M3) }},
+	{"E3M4", func(*models.Network) quant.Recipe { return quant.StandardFP8(quant.E3M4) }},
+	{"Mixed", func(*models.Network) quant.Recipe { return quant.MixedFP8() }},
+}
+
+func table5Spec() GridSpec {
+	return GridSpec{
+		ID: "table5",
+		Axes: []Axis{
+			{Name: "model", Values: table5Models},
+			{Name: "recipe", Values: recipeLabels(table5Recipes)},
+		},
+	}
+}
+
+func runTable5Cell(c Cell) evalx.Result {
+	name, ri := c.Values[0], c.Coords[1]
+	net, err := models.Build(name)
+	if err != nil {
+		return evalx.Failed(name, c.Values[1], err)
+	}
+	return evalx.EvaluateWithRef(net, table5Recipes[ri].recipe(net), true, modelRef(name, net))
+}
+
+func renderTable5(g *Grid) *Report {
 	tb := newTable("Model", "Task", "FP32", "E5M2", "E4M3", "E3M4", "Mixed")
 	vals := map[string]float64{}
-	type row struct {
-		task string
-		res  []evalx.Result
-	}
-	rows := collectCells(len(table5Models), func(i int) row {
-		net, err := models.Build(table5Models[i])
-		if err != nil {
-			return row{}
+	for mi, name := range table5Models {
+		res := make([]evalx.Result, len(table5Recipes))
+		ok := true
+		for ri := range table5Recipes {
+			res[ri] = g.At(mi, ri)
+			if res[ri].Err != "" {
+				ok = false
+			}
 		}
-		recipes := []quant.Recipe{
-			quant.StandardFP8(quant.E5M2),
-			quant.StandardFP8(quant.E4M3),
-			quant.StandardFP8(quant.E3M4),
-			quant.MixedFP8(),
-		}
-		return row{net.Meta.Task, evalx.EvaluateRecipes(net, recipes, true)}
-	})
-	for i, name := range table5Models {
-		res := rows[i].res
-		if len(res) < 4 {
+		if !ok {
 			continue
 		}
-		tb.add(name, rows[i].task, "1.0000",
+		info, _ := models.InfoFor(name)
+		tb.add(name, info.Task, "1.0000",
 			fmt.Sprintf("%.4f", res[0].QAcc), fmt.Sprintf("%.4f", res[1].QAcc),
 			fmt.Sprintf("%.4f", res[2].QAcc), fmt.Sprintf("%.4f", res[3].QAcc))
 		vals[name+"_E5M2"] = res[0].QAcc
@@ -335,6 +425,8 @@ func runTable5() *Report {
 	}
 }
 
+// ---- table6 ----
+
 // table6Cases are the static-vs-dynamic comparisons of Table 6.
 var table6Cases = []struct {
 	model  string
@@ -346,30 +438,49 @@ var table6Cases = []struct {
 	{"xlm_roberta_mrpc", quant.E3M4},
 }
 
-func runTable6() *Report {
+func table6Spec() GridSpec {
+	ms := make([]string, len(table6Cases))
+	for i, c := range table6Cases {
+		ms[i] = c.model
+	}
+	return GridSpec{
+		ID: "table6",
+		Axes: []Axis{
+			{Name: "model", Values: ms},
+			{Name: "approach", Values: []string{"Dynamic", "Static"}},
+		},
+	}
+}
+
+func runTable6Cell(c Cell) evalx.Result {
+	cs := table6Cases[c.Coords[0]]
+	net, err := models.Build(cs.model)
+	if err != nil {
+		return evalx.Failed(cs.model, c.Values[1], err)
+	}
+	var r quant.Recipe
+	if c.Coords[1] == 0 {
+		r = quant.DynamicFP8(cs.format)
+	} else {
+		r = quant.StandardFP8(cs.format)
+	}
+	return evalx.EvaluateWithRef(net, r, true, modelRef(cs.model, net))
+}
+
+func renderTable6(g *Grid) *Report {
 	tb := newTable("Model", "FP8 Format", "Dynamic", "Static", "Improvement")
 	vals := map[string]float64{}
-	rows := collectCells(len(table6Cases), func(i int) []evalx.Result {
-		net, err := models.Build(table6Cases[i].model)
-		if err != nil {
-			return nil
-		}
-		return evalx.EvaluateRecipes(net, []quant.Recipe{
-			quant.DynamicFP8(table6Cases[i].format),
-			quant.StandardFP8(table6Cases[i].format),
-		}, true)
-	})
-	for i, c := range table6Cases {
-		res := rows[i]
-		if len(res) < 2 {
+	for mi, cs := range table6Cases {
+		rd, rs := g.At(mi, 0), g.At(mi, 1)
+		if rd.Err != "" || rs.Err != "" {
 			continue
 		}
-		dyn, st := res[0].QAcc, res[1].QAcc
-		tb.add(c.model, c.format.String(),
+		dyn, st := rd.QAcc, rs.QAcc
+		tb.add(cs.model, cs.format.String(),
 			fmt.Sprintf("%.4f", dyn), fmt.Sprintf("%.4f", st),
 			fmt.Sprintf("%+.2f%%", (dyn-st)*100))
-		vals[c.model+"_dynamic"] = dyn
-		vals[c.model+"_static"] = st
+		vals[cs.model+"_dynamic"] = dyn
+		vals[cs.model+"_static"] = st
 	}
 	return &Report{
 		Text: "Table 6 reproduction: static vs dynamic quantization on NLP workloads\n" +
@@ -378,31 +489,32 @@ func runTable6() *Report {
 	}
 }
 
-func runFig9() *Report {
-	vals := map[string]float64{}
-	tb := newTable("domain", "recipe", "format", "mean loss", "std", "max")
-	// Each group is one table row: a (domain, format, coverage) triple
-	// averaged over 12 models. Cells are the individual (group, model)
-	// evaluations, fanned out over the sweep pool; per-cell losses land
-	// in fixed slots so the aggregation below is order-independent.
-	type group struct {
-		domain  string
-		format  quant.DType
-		altOps  bool // CV: +first/last; NLP: extended coverage
-		names   []string
-		label   string
-		valsKey string
-	}
-	cvNames := models.NamesByDomain(models.CV)[:12]
-	nlpNames := models.NamesByDomain(models.NLP)[:12]
-	var groups []group
+// ---- fig9 ----
+
+// fig9Group is one Figure 9 table row: a (domain, format, coverage)
+// triple averaged over its 12 models.
+type fig9Group struct {
+	domain  string
+	format  quant.DType
+	altOps  bool // CV: +first/last; NLP: extended coverage
+	names   []string
+	label   string
+	valsKey string
+}
+
+const fig9GroupSize = 12
+
+func fig9Groups() []fig9Group {
+	cvNames := models.NamesByDomain(models.CV)[:fig9GroupSize]
+	nlpNames := models.NamesByDomain(models.NLP)[:fig9GroupSize]
+	var groups []fig9Group
 	for _, f := range []quant.DType{quant.E5M2, quant.E4M3, quant.E3M4} {
 		for _, alt := range []bool{false, true} {
 			label := "Conv,Linear"
 			if alt {
 				label = "Conv,Linear -1st&LastOps"
 			}
-			groups = append(groups, group{"CV", f, alt, cvNames, label,
+			groups = append(groups, fig9Group{"CV", f, alt, cvNames, label,
 				fmt.Sprintf("cv_%s_firstlast_%v", f, alt)})
 		}
 	}
@@ -412,48 +524,65 @@ func runFig9() *Report {
 			if alt {
 				label = "Linear +BMM,MM,Emb,LayerNorm"
 			}
-			groups = append(groups, group{"NLP", f, alt, nlpNames, label,
+			groups = append(groups, fig9Group{"NLP", f, alt, nlpNames, label,
 				fmt.Sprintf("nlp_%s_extended_%v", f, alt)})
 		}
 	}
-	type cellID struct{ gi, mi int }
-	var cells []cellID
-	losses := make([][]float64, len(groups))
-	for gi, g := range groups {
-		losses[gi] = make([]float64, len(g.names))
-		for mi := range g.names {
-			cells = append(cells, cellID{gi, mi})
+	return groups
+}
+
+// fig9Spec flattens the (group, model) schedule into one axis whose
+// values carry the full cell identity (domain/format/coverage/model),
+// since the model list differs per group and the grid must stay
+// self-describing for the result store.
+func fig9Spec() GridSpec {
+	groups := fig9Groups()
+	vals := make([]string, 0, len(groups)*fig9GroupSize)
+	for _, g := range groups {
+		cov := "base"
+		if g.altOps {
+			cov = "alt"
+		}
+		for _, name := range g.names {
+			vals = append(vals, fmt.Sprintf("%s/%s/%s/%s", g.domain, g.format, cov, name))
 		}
 	}
-	forEachCell(len(cells), func(k int) {
-		gi, mi := cells[k].gi, cells[k].mi
-		g := groups[gi]
-		losses[gi][mi] = math.NaN()
-		net, err := models.Build(g.names[mi])
-		if err != nil {
-			return
+	return GridSpec{ID: "fig9", Axes: []Axis{{Name: "config", Values: vals}}}
+}
+
+func runFig9Cell(c Cell) evalx.Result {
+	groups := fig9Groups()
+	g := groups[c.Index/fig9GroupSize]
+	name := g.names[c.Index%fig9GroupSize]
+	net, err := models.Build(name)
+	if err != nil {
+		return evalx.Failed(name, g.label, err)
+	}
+	r := quant.StandardFP8(g.format)
+	if g.altOps {
+		if g.domain == "CV" {
+			r = r.WithFirstLast()
+		} else {
+			r = r.WithExtendedOps()
 		}
-		r := quant.StandardFP8(g.format)
-		if g.altOps {
-			if g.domain == "CV" {
-				r = r.WithFirstLast()
-			} else {
-				r = r.WithExtendedOps()
+	}
+	return evalx.EvaluateWithRef(net, r, true, modelRef(name, net))
+}
+
+func renderFig9(g *Grid) *Report {
+	vals := map[string]float64{}
+	tb := newTable("domain", "recipe", "format", "mean loss", "std", "max")
+	for gi, grp := range fig9Groups() {
+		var losses []float64
+		for mi := 0; mi < fig9GroupSize; mi++ {
+			if r := g.Results[gi*fig9GroupSize+mi]; r.Err == "" {
+				losses = append(losses, r.RelLoss*100)
 			}
 		}
-		losses[gi][mi] = evalx.Evaluate(net, r, true).RelLoss * 100
-	})
-	for gi, g := range groups {
-		var ok []float64
-		for _, l := range losses[gi] {
-			if !math.IsNaN(l) {
-				ok = append(ok, l)
-			}
-		}
-		s := evalx.ComputeLossStats(ok)
-		tb.add(g.domain, g.label, g.format.String(), fmt.Sprintf("%.2f%%", s.Mean),
+		s := evalx.ComputeLossStats(losses)
+		tb.add(grp.domain, grp.label, grp.format.String(), fmt.Sprintf("%.2f%%", s.Mean),
 			fmt.Sprintf("%.2f", s.Std), fmt.Sprintf("%.2f%%", s.Max))
-		vals[g.valsKey] = s.Mean
+		vals[grp.valsKey] = s.Mean
 	}
 	return &Report{
 		Text: "Figure 9 reproduction: accuracy impact of extended quantization recipes\n" +
@@ -462,52 +591,74 @@ func runFig9() *Report {
 	}
 }
 
-func runFirstLast() *Report {
-	// Section 4.3.1: pass-rate drop when quantizing first and last
-	// operators of CNNs.
+// ---- firstlast ----
+
+var firstLastFormats = []quant.DType{quant.E5M2, quant.E4M3, quant.E3M4}
+
+// firstLastCNNs returns the CNN subset of the CV zoo (Section 4.3.1's
+// study population).
+func firstLastCNNs() []string {
 	var cnns []string
 	for _, name := range models.NamesByDomain(models.CV) {
 		if info, _ := models.InfoFor(name); info.IsCNN {
 			cnns = append(cnns, name)
 		}
 	}
-	formats := []quant.DType{quant.E5M2, quant.E4M3, quant.E3M4}
-	// One cell per (format, CNN): both recipes share the cell's model
-	// build. passes[fi][mi] = {std pass, first/last pass} or nil.
-	passes := make([][][2]bool, len(formats))
-	valid := make([][]bool, len(formats))
-	for fi := range formats {
-		passes[fi] = make([][2]bool, len(cnns))
-		valid[fi] = make([]bool, len(cnns))
+	return cnns
+}
+
+func firstLastSpec() GridSpec {
+	fms := make([]string, len(firstLastFormats))
+	for i, f := range firstLastFormats {
+		fms[i] = f.String()
 	}
-	forEachCell(len(formats)*len(cnns), func(k int) {
-		fi, mi := k/len(cnns), k%len(cnns)
-		net, err := models.Build(cnns[mi])
-		if err != nil {
-			return
-		}
-		res := evalx.EvaluateRecipes(net, []quant.Recipe{
-			quant.StandardFP8(formats[fi]),
-			quant.StandardFP8(formats[fi]).WithFirstLast(),
-		}, true)
-		passes[fi][mi] = [2]bool{res[0].Pass, res[1].Pass}
-		valid[fi][mi] = true
-	})
+	return GridSpec{
+		ID: "firstlast",
+		Axes: []Axis{
+			{Name: "format", Values: fms},
+			{Name: "variant", Values: []string{"std", "first/last"}},
+			{Name: "model", Values: firstLastCNNs()},
+		},
+	}
+}
+
+func runFirstLastCell(c Cell) evalx.Result {
+	name := c.Values[2]
+	net, err := models.Build(name)
+	if err != nil {
+		return evalx.Failed(name, c.Values[0]+" "+c.Values[1], err)
+	}
+	r := quant.StandardFP8(firstLastFormats[c.Coords[0]])
+	if c.Coords[1] == 1 {
+		r = r.WithFirstLast()
+	}
+	return evalx.EvaluateWithRef(net, r, true, modelRef(name, net))
+}
+
+func renderFirstLast(g *Grid) *Report {
 	tb := newTable("format", "pass rate (std)", "pass rate (+first/last)", "drop")
 	vals := map[string]float64{}
-	for fi, f := range formats {
+	nModels := len(g.Spec.Axes[2].Values)
+	for fi, f := range firstLastFormats {
 		var std, fl, total int
-		for mi := range cnns {
-			if !valid[fi][mi] {
+		for mi := 0; mi < nModels; mi++ {
+			rs, rf := g.At(fi, 0, mi), g.At(fi, 1, mi)
+			if rs.Err != "" || rf.Err != "" {
 				continue
 			}
 			total++
-			if passes[fi][mi][0] {
+			if rs.Pass {
 				std++
 			}
-			if passes[fi][mi][1] {
+			if rf.Pass {
 				fl++
 			}
+		}
+		if total == 0 {
+			// Every cell of this format errored; a 0/0 division would
+			// put NaN into Values and break JSON encoding downstream.
+			tb.add(f.String(), "-", "-", "no evaluable models")
+			continue
 		}
 		sp := float64(std) / float64(total) * 100
 		fp := float64(fl) / float64(total) * 100

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"fp8quant/internal/evalx"
 	"fp8quant/internal/fp8"
 	"fp8quant/internal/nn"
 	"fp8quant/internal/quant"
@@ -11,26 +12,15 @@ import (
 )
 
 func init() {
-	registerExp(Experiment{
-		ID:    "fig1",
-		Title: "Figure 1: quantized-value grids and MSE, N(0,0.5) + 1% outliers U(-6,6)",
-		Run:   runFig1,
-	})
-	registerExp(Experiment{
-		ID:    "fig3",
-		Title: "Figure 3: tensor distribution characterization (range- vs precision-bound)",
-		Run:   runFig3,
-	})
-	registerExp(Experiment{
-		ID:    "fig10",
-		Title: "Figure 10 / A.1: KL-clipped vs max-scaled FP8 mapping",
-		Run:   runFig10,
-	})
-	registerExp(Experiment{
-		ID:    "fig8",
-		Title: "Figure 8: MSE of mixed FP8 formats vs single format on a BERT-style Linear",
-		Run:   runFig8,
-	})
+	registerScalar("fig1",
+		"Figure 1: quantized-value grids and MSE, N(0,0.5) + 1% outliers U(-6,6)", runFig1)
+	registerScalar("fig3",
+		"Figure 3: tensor distribution characterization (range- vs precision-bound)", runFig3)
+	registerScalar("fig10",
+		"Figure 10 / A.1: KL-clipped vs max-scaled FP8 mapping", runFig10)
+	registerGrid("fig8",
+		"Figure 8: MSE of mixed FP8 formats vs single format on a BERT-style Linear",
+		fig8Spec, runFig8Cell, renderFig8)
 }
 
 // fig1Tensor draws the Figure 1 tensor: X ~ N(0, 0.5) with 1% outliers
@@ -247,40 +237,62 @@ func fig8Layer() (*nn.Linear, *tensor.Tensor) {
 	return l, x
 }
 
-func runFig8() *Report {
-	cfgs := []struct {
-		name     string
-		act, wgt quant.DType
-	}{
-		{"E5M2", quant.E5M2, quant.E5M2},
-		{"E4M3", quant.E4M3, quant.E4M3},
-		{"E3M4", quant.E3M4, quant.E3M4},
-		{"Mixed(E4M3 act + E3M4 wgt)", quant.E4M3, quant.E3M4},
+var fig8Cfgs = []struct {
+	name     string
+	act, wgt quant.DType
+}{
+	{"E5M2", quant.E5M2, quant.E5M2},
+	{"E4M3", quant.E4M3, quant.E4M3},
+	{"E3M4", quant.E3M4, quant.E3M4},
+	{"Mixed(E4M3 act + E3M4 wgt)", quant.E4M3, quant.E3M4},
+}
+
+func fig8Spec() GridSpec {
+	labels := make([]string, len(fig8Cfgs))
+	for i, c := range fig8Cfgs {
+		labels[i] = c.name
 	}
-	type cell struct{ inMSE, wMSE, oMSE float64 }
-	// One cell per format config, each on a private rebuild of the
-	// layer, fanned out over the sweep pool into fixed result slots.
-	cells := collectCells(len(cfgs), func(i int) cell {
-		l, x := fig8Layer()
-		refOut := l.Forward(x)
-		xq := x.Clone()
-		fn := quant.StaticFP8Func(cfgs[i].act.Format(), xq.AbsMax())
-		fn(xq.Data, xq.Data)
-		master := quant.QuantizeWeightPerChannel(l.W, 0, cfgs[i].wgt)
-		outQ := l.Forward(xq)
-		wMSE := tensor.MSE(master, l.W.Data)
-		return cell{
-			inMSE: tensor.MSE(x.Data, xq.Data),
-			wMSE:  wMSE,
-			oMSE:  tensor.MSE(refOut.Data, outQ.Data),
-		}
-	})
+	return GridSpec{
+		ID:   "fig8",
+		Seed: 0xF168,
+		Axes: []Axis{{Name: "config", Values: labels}},
+	}
+}
+
+// runFig8Cell measures one format config on a private rebuild of the
+// Figure 8 layer.
+func runFig8Cell(c Cell) evalx.Result {
+	cfg := fig8Cfgs[c.Index]
+	l, x := fig8Layer()
+	refOut := l.Forward(x)
+	xq := x.Clone()
+	fn := quant.StaticFP8Func(cfg.act.Format(), xq.AbsMax())
+	fn(xq.Data, xq.Data)
+	master := quant.QuantizeWeightPerChannel(l.W, 0, cfg.wgt)
+	outQ := l.Forward(xq)
+	return evalx.Result{
+		Model: "bert_linear", Recipe: cfg.name,
+		Metrics: map[string]float64{
+			"in_mse":  tensor.MSE(x.Data, xq.Data),
+			"w_mse":   tensor.MSE(master, l.W.Data),
+			"out_mse": tensor.MSE(refOut.Data, outQ.Data),
+		},
+	}
+}
+
+func renderFig8(g *Grid) *Report {
 	vals := map[string]float64{}
 	tb := newTable("config", "input MSE", "weight MSE", "output MSE")
-	for i, c := range cfgs {
-		tb.add(c.name, fmt.Sprintf("%.4e", cells[i].inMSE),
-			fmt.Sprintf("%.4e", cells[i].wMSE), fmt.Sprintf("%.4e", cells[i].oMSE))
-		vals["out_mse_"+c.name] = cells[i].oMSE
+	for i, c := range fig8Cfgs {
+		r := g.Results[i]
+		if r.Err != "" {
+			tb.add(c.name, "error: "+r.Err)
+			continue
+		}
+		m := r.Metrics
+		tb.add(c.name, fmt.Sprintf("%.4e", m["in_mse"]),
+			fmt.Sprintf("%.4e", m["w_mse"]), fmt.Sprintf("%.4e", m["out_mse"]))
+		vals["out_mse_"+c.name] = m["out_mse"]
 	}
 	return &Report{
 		Text: "Figure 8 reproduction: output MSE of a Linear with range-bound inputs and\n" +

@@ -1,7 +1,12 @@
 // Package harness regenerates every table and figure of the paper's
-// evaluation section. Each experiment is a function returning a
-// human-readable report (the rows/series the paper plots) plus
-// structured values that the test-suite asserts shape properties on.
+// evaluation section. Every experiment is a declarative grid: it
+// states its schedule (Spec — ordered named axes whose product is the
+// cell set), a pure per-cell computation (RunCell), and a presentation
+// step (Render) that turns the completed grid into a human-readable
+// report plus structured values the test-suite asserts shape
+// properties on. A single executor (executor.go) owns worker-pool
+// fan-out, in-process memoization and per-cell persistence for all of
+// them.
 //
 // Experiment ids match DESIGN.md's per-experiment index: fig1, fig3,
 // table2, fig4, table3, fig5, fig6, table4, fig7, fig8, table5,
@@ -12,16 +17,27 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"fp8quant/internal/evalx"
 )
 
-// Experiment is a runnable reproduction unit.
-type Experiment struct {
+// Experiment is a reproduction unit declared as a cell grid. Run one
+// with harness.Run (or RunGrid for filtered sub-grids).
+type Experiment interface {
 	// ID is the table/figure identifier (e.g. "table2").
-	ID string
+	ID() string
 	// Title describes the paper artifact.
-	Title string
-	// Run executes the experiment and returns its report.
-	Run func() *Report
+	Title() string
+	// Spec declares the grid schedule. A spec with no axes has no
+	// cells; the experiment computes everything in Render.
+	Spec() GridSpec
+	// RunCell evaluates one cell. It must be pure: build (or
+	// deterministically rebuild) everything it mutates, confine writes
+	// to cell-local state, and return the same result for the same
+	// cell regardless of scheduling. Never called for axis-less specs.
+	RunCell(Cell) evalx.Result
+	// Render turns the completed grid into the experiment's report.
+	Render(*Grid) *Report
 }
 
 // Report carries the formatted output and the structured numbers.
@@ -32,14 +48,45 @@ type Report struct {
 	Values map[string]float64
 }
 
+// gridExp is the declarative Experiment implementation every exp_*.go
+// file registers.
+type gridExp struct {
+	id, title string
+	spec      func() GridSpec
+	cell      func(Cell) evalx.Result
+	render    func(*Grid) *Report
+}
+
+func (g gridExp) ID() string    { return g.id }
+func (g gridExp) Title() string { return g.title }
+func (g gridExp) Spec() GridSpec {
+	if g.spec == nil {
+		return GridSpec{ID: g.id}
+	}
+	return g.spec()
+}
+func (g gridExp) RunCell(c Cell) evalx.Result { return g.cell(c) }
+func (g gridExp) Render(gr *Grid) *Report     { return g.render(gr) }
+
 // registry of experiments, populated by init() in exp_*.go files.
 var experiments = map[string]Experiment{}
 
 func registerExp(e Experiment) {
-	if _, dup := experiments[e.ID]; dup {
-		panic("harness: duplicate experiment " + e.ID)
+	if _, dup := experiments[e.ID()]; dup {
+		panic("harness: duplicate experiment " + e.ID())
 	}
-	experiments[e.ID] = e
+	experiments[e.ID()] = e
+}
+
+// registerGrid registers a declarative grid experiment.
+func registerGrid(id, title string, spec func() GridSpec, cell func(Cell) evalx.Result, render func(*Grid) *Report) {
+	registerExp(gridExp{id: id, title: title, spec: spec, cell: cell, render: render})
+}
+
+// registerScalar registers a cell-less experiment: a cheap computation
+// with no grid to schedule, run entirely inside Render.
+func registerScalar(id, title string, run func() *Report) {
+	registerExp(gridExp{id: id, title: title, render: func(*Grid) *Report { return run() }})
 }
 
 // IDs returns the registered experiment ids, sorted.

@@ -79,7 +79,7 @@ func TestAddfEscapedPipe(t *testing.T) {
 // both E4M3 and E3M4 < INT8 at the LLM-scale magnitude; E5M2 worst FP8.
 func TestFig1Shape(t *testing.T) {
 	e, _ := Get("fig1")
-	rep := e.Run()
+	rep := Run(e)
 	v := rep.Values
 	if !(v["mse_E3M4_mag6"] < v["mse_INT8_mag6"]) {
 		t.Errorf("E3M4 (%e) should beat INT8 (%e) at magnitude 6",
@@ -98,7 +98,7 @@ func TestFig1Shape(t *testing.T) {
 
 func TestFig3Shape(t *testing.T) {
 	e, _ := Get("fig3")
-	rep := e.Run()
+	rep := Run(e)
 	v := rep.Values
 	if v["ratio_nlp_activation"] <= 10 {
 		t.Errorf("NLP activation should be range-bound: ratio %v", v["ratio_nlp_activation"])
@@ -113,7 +113,7 @@ func TestFig3Shape(t *testing.T) {
 
 func TestFig10Shape(t *testing.T) {
 	e, _ := Get("fig10")
-	rep := e.Run()
+	rep := Run(e)
 	v := rep.Values
 	// KL calibration must clip below the outlier cluster (the demo's
 	// "clipped max value is 2" behaviour).
@@ -131,7 +131,7 @@ func TestFig10Shape(t *testing.T) {
 
 func TestFig8Shape(t *testing.T) {
 	e, _ := Get("fig8")
-	rep := e.Run()
+	rep := Run(e)
 	v := rep.Values
 	mixed := v["out_mse_Mixed(E4M3 act + E3M4 wgt)"]
 	for _, single := range []string{"E5M2", "E4M3"} {

@@ -78,7 +78,21 @@ func collectCells[T any](n int, fn func(i int) T) []T {
 
 // Sweep evaluates the Table 2 recipe set over the named models on the
 // worker pool — the building block of the table2/fig4/fig5 experiments,
-// exported for callers (and benchmarks) that want the raw cells.
-// Results are indexed [model][recipe] in input order; a model that
-// fails to build yields a nil row.
-func Sweep(names []string) [][]evalx.Result { return sweepAll(names) }
+// exported for callers (and benchmarks) that want the raw cells without
+// the memo/store layers. It does share the process-wide per-model FP32
+// reference cache; benchmarks comparing repeated Sweep calls should
+// ClearMemo between runs to keep the measured work equal. Results are
+// indexed [model][recipe] in input order; a model that fails to build
+// yields Err-marked results in its row.
+func Sweep(names []string) [][]evalx.Result {
+	spec := sweepSpecFor(names)
+	out := make([][]evalx.Result, len(names))
+	for i := range out {
+		out[i] = make([]evalx.Result, len(table2Labels))
+	}
+	forEachCell(spec.NumCells(), func(i int) {
+		c := spec.CellAt(i)
+		out[c.Coords[0]][c.Coords[1]] = runSweepCell(c)
+	})
+	return out
+}

@@ -1,8 +1,11 @@
-// Package resultstore persists experiment result grids to disk as
+// Package resultstore persists experiment results to disk as
 // content-addressed JSON files, so repeated fp8bench invocations reuse
-// sweeps instead of recomputing them. A grid is keyed by a fingerprint
-// of (experiment id, model set, recipe set, seed, schema version);
-// writes are atomic (temp file + rename) and reads tolerate corrupt or
+// completed work instead of recomputing it. The unit of storage is one
+// grid *cell* — a single (axis values) evaluation — keyed by a
+// fingerprint of (grid id, ordered axis name/value pairs, seed, schema
+// version), so an interrupted sweep resumes from its completed cells.
+// A per-grid manifest records the full cell schedule for tooling.
+// Writes are atomic (temp file + rename) and reads tolerate corrupt or
 // stale files by treating them as misses, so a damaged cache can never
 // poison a report — at worst it costs a recompute.
 package resultstore
@@ -14,28 +17,36 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"regexp"
+	"strings"
 	"sync/atomic"
+	"time"
 
 	"fp8quant/internal/evalx"
 )
 
-// SchemaVersion identifies the evaluation-code generation a stored grid
+// SchemaVersion identifies the evaluation-code generation a stored cell
 // was produced by. Bump it whenever evalx.Result's layout, the batch
-// protocol, or anything else that changes grid numbers changes; stored
-// grids from other versions are treated as misses.
-const SchemaVersion = 1
+// protocol, or anything else that changes cell numbers changes; stored
+// entries from other versions are treated as misses (and removed by
+// Prune). Version 1 was the pre-cell whole-grid blob format.
+const SchemaVersion = 2
 
-// Key identifies one cached grid. Models and Recipes are ordered — the
-// grid is indexed [model][recipe], so order is part of the identity.
-type Key struct {
-	// Experiment is the experiment id (e.g. "table2-sweep").
-	Experiment string `json:"experiment"`
-	// Models are the model names of the grid rows, in row order.
-	Models []string `json:"models"`
-	// Recipes label the grid columns, in column order.
-	Recipes []string `json:"recipes"`
-	// Seed is the experiment-level seed (model weights derive further
-	// per-name seeds from it or independently of it).
+// AxisValue is one (axis name, value) coordinate of a cell.
+type AxisValue struct {
+	Axis  string `json:"axis"`
+	Value string `json:"value"`
+}
+
+// CellKey identifies one stored cell. Cell coordinates are ordered —
+// axis order is part of the identity.
+type CellKey struct {
+	// Grid is the grid id (e.g. "table2-sweep"). Experiments sharing a
+	// grid (table2/fig4/fig5) use the same id and so share cells.
+	Grid string `json:"grid"`
+	// Cell are the cell's axis coordinates, in axis order.
+	Cell []AxisValue `json:"cell"`
+	// Seed is the experiment-level seed.
 	Seed uint64 `json:"seed"`
 	// Schema is the evaluation-code schema version (SchemaVersion).
 	Schema int `json:"schema"`
@@ -43,7 +54,7 @@ type Key struct {
 
 // Fingerprint returns the content address of the key: a 128-bit hex
 // digest of its canonical JSON encoding.
-func (k Key) Fingerprint() string {
+func (k CellKey) Fingerprint() string {
 	b, err := json.Marshal(k)
 	if err != nil {
 		panic("resultstore: unmarshalable key: " + err.Error())
@@ -52,7 +63,27 @@ func (k Key) Fingerprint() string {
 	return hex.EncodeToString(sum[:16])
 }
 
-// Stats counts store traffic since Open.
+// Manifest records a grid's full cell schedule: the axes and the
+// row-major cell fingerprints. It lets tooling reason about coverage
+// (which cells of a sweep exist) without re-deriving the spec.
+type Manifest struct {
+	Grid   string         `json:"grid"`
+	Seed   uint64         `json:"seed"`
+	Schema int            `json:"schema"`
+	Axes   []ManifestAxis `json:"axes"`
+	// Cells are the row-major cell fingerprints of the full grid.
+	Cells []string `json:"cells"`
+}
+
+// ManifestAxis is one declared grid dimension.
+type ManifestAxis struct {
+	Name   string   `json:"name"`
+	Values []string `json:"values"`
+}
+
+// Stats counts cell traffic since Open. Manifest reads/writes are
+// bookkeeping, not results, and are deliberately not counted — the
+// counters answer "how many cells were reused vs recomputed".
 type Stats struct {
 	Hits, Misses, Writes int64
 }
@@ -62,8 +93,8 @@ func (s Stats) String() string {
 	return fmt.Sprintf("%d hits, %d misses, %d writes", s.Hits, s.Misses, s.Writes)
 }
 
-// Store is a directory of content-addressed grid files. A nil *Store is
-// valid and behaves as an always-miss, never-write store.
+// Store is a directory of content-addressed cell and manifest files. A
+// nil *Store is valid and behaves as an always-miss, never-write store.
 type Store struct {
 	dir                  string
 	hits, misses, writes atomic.Int64
@@ -93,61 +124,214 @@ func (s *Store) Stats() Stats {
 	return Stats{Hits: s.hits.Load(), Misses: s.misses.Load(), Writes: s.writes.Load()}
 }
 
-// Path returns the file a key's grid is stored at.
-func (s *Store) Path(k Key) string {
-	return filepath.Join(s.dir, k.Fingerprint()+".json")
+// CellPath returns the file a key's cell is stored at.
+func (s *Store) CellPath(k CellKey) string {
+	return filepath.Join(s.dir, "c-"+k.Fingerprint()+".json")
 }
 
-// envelope is the on-disk format: the schema version and full key ride
-// along with the grid so reads can reject stale or colliding entries.
-type envelope struct {
-	Schema int              `json:"schema"`
-	Key    Key              `json:"key"`
-	Grid   [][]evalx.Result `json:"grid"`
+// cellEnvelope is the on-disk cell format: the schema version and full
+// key ride along with the result so reads can reject stale or
+// colliding entries.
+type cellEnvelope struct {
+	Schema int          `json:"schema"`
+	Key    CellKey      `json:"key"`
+	Result evalx.Result `json:"result"`
 }
 
-// LoadGrid returns the stored grid for the key, or (nil, false) on any
-// miss: absent file, unreadable JSON, schema mismatch, or key mismatch.
-func (s *Store) LoadGrid(k Key) ([][]evalx.Result, bool) {
+// LoadCell returns the stored result for the key, or (zero, false) on
+// any miss: absent file, unreadable JSON, schema or key mismatch.
+func (s *Store) LoadCell(k CellKey) (evalx.Result, bool) {
 	if s == nil {
-		return nil, false
+		return evalx.Result{}, false
 	}
-	path := s.Path(k)
-	b, err := os.ReadFile(path)
+	b, err := os.ReadFile(s.CellPath(k))
 	if err != nil {
 		s.misses.Add(1)
-		return nil, false
+		return evalx.Result{}, false
 	}
-	var env envelope
+	var env cellEnvelope
 	if err := json.Unmarshal(b, &env); err != nil {
 		// Corrupt entry (torn write from a crashed process, disk
 		// damage): treat as a miss. Deliberately not deleted — the
-		// recompute's SaveGrid rename replaces it atomically, and a
+		// recompute's SaveCell rename replaces it atomically, and a
 		// delete here could race a concurrent process's just-renamed
-		// valid grid.
+		// valid cell.
 		s.misses.Add(1)
-		return nil, false
+		return evalx.Result{}, false
 	}
 	if env.Schema != k.Schema || !keysEqual(env.Key, k) {
 		s.misses.Add(1)
-		return nil, false
+		return evalx.Result{}, false
 	}
 	s.hits.Add(1)
-	return env.Grid, true
+	return env.Result, true
 }
 
-// SaveGrid atomically persists the grid under the key: the JSON is
-// written to a temp file in the store directory and renamed into place,
-// so concurrent readers only ever see complete entries.
-func (s *Store) SaveGrid(k Key, grid [][]evalx.Result) error {
+// SaveCell atomically persists the result under the key.
+func (s *Store) SaveCell(k CellKey, r evalx.Result) error {
 	if s == nil {
 		return nil
 	}
-	b, err := json.Marshal(envelope{Schema: k.Schema, Key: k, Grid: grid})
+	b, err := json.Marshal(cellEnvelope{Schema: k.Schema, Key: k, Result: r})
 	if err != nil {
 		return fmt.Errorf("resultstore: %w", err)
 	}
-	tmp, err := os.CreateTemp(s.dir, ".grid-*.tmp")
+	if err := s.writeAtomic(s.CellPath(k), b); err != nil {
+		return err
+	}
+	s.writes.Add(1)
+	return nil
+}
+
+// ManifestPath returns the file a grid's manifest is stored at.
+func (s *Store) ManifestPath(grid string, seed uint64) string {
+	key := struct {
+		Grid   string `json:"grid"`
+		Seed   uint64 `json:"seed"`
+		Schema int    `json:"schema"`
+	}{grid, seed, SchemaVersion}
+	b, _ := json.Marshal(key)
+	sum := sha256.Sum256(b)
+	return filepath.Join(s.dir, "m-"+hex.EncodeToString(sum[:16])+".json")
+}
+
+// manifestEnvelope wraps a manifest with its schema version.
+type manifestEnvelope struct {
+	Schema   int      `json:"schema"`
+	Manifest Manifest `json:"manifest"`
+}
+
+// LoadManifest returns the stored manifest for a grid, or false on any
+// miss. Manifest traffic is not counted in Stats.
+func (s *Store) LoadManifest(grid string, seed uint64) (Manifest, bool) {
+	if s == nil {
+		return Manifest{}, false
+	}
+	b, err := os.ReadFile(s.ManifestPath(grid, seed))
+	if err != nil {
+		return Manifest{}, false
+	}
+	var env manifestEnvelope
+	if err := json.Unmarshal(b, &env); err != nil {
+		return Manifest{}, false
+	}
+	if env.Schema != SchemaVersion || env.Manifest.Grid != grid || env.Manifest.Seed != seed {
+		return Manifest{}, false
+	}
+	return env.Manifest, true
+}
+
+// SaveManifest atomically persists a grid manifest.
+func (s *Store) SaveManifest(m Manifest) error {
+	if s == nil {
+		return nil
+	}
+	m.Schema = SchemaVersion
+	b, err := json.Marshal(manifestEnvelope{Schema: SchemaVersion, Manifest: m})
+	if err != nil {
+		return fmt.Errorf("resultstore: %w", err)
+	}
+	return s.writeAtomic(s.ManifestPath(m.Grid, m.Seed), b)
+}
+
+// tmpGrace is how old a temp file must be before Prune treats it as
+// a leftover from a crashed process rather than a write in flight: an
+// atomic write holds its temp file for milliseconds, so an hour-old
+// one is certainly abandoned, while deleting a fresh one could race a
+// concurrent process between CreateTemp and Rename.
+const tmpGrace = time.Hour
+
+// storeFilePattern matches the files this (or the schema-1) store
+// writes: "c-<hex32>.json" cells, "m-<hex32>.json" manifests, and the
+// legacy bare "<hex32>.json" whole-grid blobs. Prune only ever touches
+// these (plus "*.tmp"), so foreign files sharing the directory are
+// safe.
+var storeFilePattern = regexp.MustCompile(`^(c-|m-)?[0-9a-f]{32}\.json$`)
+
+// Prune removes stale store entries: abandoned temp files (older than
+// tmpGrace), store-named files that fail to parse, and entries from
+// other schema versions (including the pre-cell whole-grid blobs of
+// schema 1). With maxAge > 0 it also removes current-schema entries
+// whose file is older than maxAge. Returns the number of files
+// removed. Files the store did not name are left alone.
+func (s *Store) Prune(maxAge time.Duration) (int, error) {
+	if s == nil {
+		return 0, nil
+	}
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return 0, fmt.Errorf("resultstore: %w", err)
+	}
+	var cutoff time.Time
+	if maxAge > 0 {
+		cutoff = time.Now().Add(-maxAge)
+	}
+	removed := 0
+	var firstErr error
+	for _, ent := range entries {
+		if ent.IsDir() {
+			continue
+		}
+		name := ent.Name()
+		path := filepath.Join(s.dir, name)
+		switch {
+		case strings.HasSuffix(name, ".tmp"):
+			info, err := ent.Info()
+			if err != nil || info.ModTime().After(time.Now().Add(-tmpGrace)) {
+				continue // possibly a write in flight
+			}
+		case storeFilePattern.MatchString(name):
+			current, readErr := hasCurrentSchema(path)
+			if readErr != nil {
+				// A transient read failure (EMFILE, permissions) must
+				// not condemn a possibly valid entry — skip it.
+				continue
+			}
+			if current {
+				if cutoff.IsZero() {
+					continue
+				}
+				info, err := ent.Info()
+				if err != nil || !info.ModTime().Before(cutoff) {
+					continue
+				}
+			}
+		default:
+			continue
+		}
+		if err := os.Remove(path); err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("resultstore: %w", err)
+			}
+			continue
+		}
+		removed++
+	}
+	return removed, firstErr
+}
+
+// hasCurrentSchema reports whether the file parses as a JSON envelope
+// of the current schema version. A read failure is returned as an
+// error so the caller can distinguish "unreadable right now" from
+// "readable but stale/corrupt".
+func hasCurrentSchema(path string) (bool, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return false, err
+	}
+	var probe struct {
+		Schema int `json:"schema"`
+	}
+	if json.Unmarshal(b, &probe) != nil {
+		return false, nil
+	}
+	return probe.Schema == SchemaVersion, nil
+}
+
+// writeAtomic writes b to path via a temp file + rename, so concurrent
+// readers only ever see complete entries.
+func (s *Store) writeAtomic(path string, b []byte) error {
+	tmp, err := os.CreateTemp(s.dir, ".cell-*.tmp")
 	if err != nil {
 		return fmt.Errorf("resultstore: %w", err)
 	}
@@ -160,17 +344,16 @@ func (s *Store) SaveGrid(k Key, grid [][]evalx.Result) error {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("resultstore: %w", err)
 	}
-	if err := os.Rename(tmp.Name(), s.Path(k)); err != nil {
+	if err := os.Rename(tmp.Name(), path); err != nil {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("resultstore: %w", err)
 	}
-	s.writes.Add(1)
 	return nil
 }
 
 // keysEqual compares keys by canonical encoding (guards fingerprint
 // collisions and hand-edited files).
-func keysEqual(a, b Key) bool {
+func keysEqual(a, b CellKey) bool {
 	ab, _ := json.Marshal(a)
 	bb, _ := json.Marshal(b)
 	return string(ab) == string(bb)

@@ -4,61 +4,66 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"reflect"
 	"testing"
+	"time"
 
 	"fp8quant/internal/evalx"
 	"fp8quant/internal/models"
 )
 
-func testKey() Key {
-	return Key{
-		Experiment: "table2-sweep",
-		Models:     []string{"resnet50", "bert_base_mrpc"},
-		Recipes:    []string{"E4M3 Static", "INT8 Static CV | Dynamic NLP"},
-		Seed:       0,
-		Schema:     SchemaVersion,
-	}
-}
-
-func testGrid() [][]evalx.Result {
-	return [][]evalx.Result{
-		{
-			{Model: "resnet50", Domain: models.CV, Recipe: "E4M3 Static",
-				BaseAcc: 1, QAcc: 0.9987654321012345, RelLoss: 0.0012345678987655, Pass: true},
-			{Model: "resnet50", Domain: models.CV, Recipe: "INT8 Static CV | Dynamic NLP",
-				BaseAcc: 1, QAcc: 0.91, RelLoss: 0.09, Pass: false},
+func testKey() CellKey {
+	return CellKey{
+		Grid: "table2-sweep",
+		Cell: []AxisValue{
+			{Axis: "model", Value: "resnet50"},
+			{Axis: "recipe", Value: "INT8 Static CV | Dynamic NLP"},
 		},
-		nil, // a model that failed to build yields a nil row
+		Seed:   0,
+		Schema: SchemaVersion,
 	}
 }
 
-func TestRoundTrip(t *testing.T) {
+func testResult() evalx.Result {
+	return evalx.Result{
+		Model: "resnet50", Domain: models.CV, Recipe: "INT8 Static CV | Dynamic NLP",
+		BaseAcc: 1, QAcc: 0.9987654321012345, RelLoss: 0.0012345678987655, Pass: true,
+		Metrics: map[string]float64{"aux": 0.3333333333333333},
+	}
+}
+
+func testManifest() Manifest {
+	k := testKey()
+	return Manifest{
+		Grid: "table2-sweep",
+		Seed: 0,
+		Axes: []ManifestAxis{
+			{Name: "model", Values: []string{"resnet50"}},
+			{Name: "recipe", Values: []string{"INT8 Static CV | Dynamic NLP"}},
+		},
+		Cells: []string{k.Fingerprint()},
+	}
+}
+
+func TestCellRoundTrip(t *testing.T) {
 	s, err := Open(t.TempDir())
 	if err != nil {
 		t.Fatal(err)
 	}
 	k := testKey()
-	if _, ok := s.LoadGrid(k); ok {
+	if _, ok := s.LoadCell(k); ok {
 		t.Fatal("empty store must miss")
 	}
-	grid := testGrid()
-	if err := s.SaveGrid(k, grid); err != nil {
+	r := testResult()
+	if err := s.SaveCell(k, r); err != nil {
 		t.Fatal(err)
 	}
-	got, ok := s.LoadGrid(k)
+	got, ok := s.LoadCell(k)
 	if !ok {
 		t.Fatal("warm store must hit")
 	}
-	if len(got) != len(grid) {
-		t.Fatalf("grid rows = %d, want %d", len(got), len(grid))
-	}
-	if got[1] != nil {
-		t.Errorf("nil row round-tripped to %v", got[1])
-	}
-	for i, r := range grid[0] {
-		if got[0][i] != r {
-			t.Errorf("cell [0][%d] = %+v, want exact %+v", i, got[0][i], r)
-		}
+	if !reflect.DeepEqual(got, r) {
+		t.Errorf("cell = %+v, want exact %+v", got, r)
 	}
 	st := s.Stats()
 	if st.Hits != 1 || st.Misses != 1 || st.Writes != 1 {
@@ -72,17 +77,17 @@ func TestCorruptFileIsMissAndHealed(t *testing.T) {
 		t.Fatal(err)
 	}
 	k := testKey()
-	if err := os.WriteFile(s.Path(k), []byte(`{"schema":1,"grid":[[truncated`), 0o644); err != nil {
+	if err := os.WriteFile(s.CellPath(k), []byte(`{"schema":2,"result":{truncated`), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, ok := s.LoadGrid(k); ok {
+	if _, ok := s.LoadCell(k); ok {
 		t.Fatal("corrupt file must be a miss")
 	}
-	// The recompute's SaveGrid atomically replaces the corrupt entry.
-	if err := s.SaveGrid(k, testGrid()); err != nil {
+	// The recompute's SaveCell atomically replaces the corrupt entry.
+	if err := s.SaveCell(k, testResult()); err != nil {
 		t.Fatal(err)
 	}
-	if _, ok := s.LoadGrid(k); !ok {
+	if _, ok := s.LoadCell(k); !ok {
 		t.Fatal("healed slot must hit")
 	}
 }
@@ -93,24 +98,24 @@ func TestSchemaMismatchIsMiss(t *testing.T) {
 		t.Fatal(err)
 	}
 	k := testKey()
-	// Simulate a grid written by an older code generation: same file
+	// Simulate a cell written by an older code generation: same file
 	// location, stale schema stamp in the envelope.
-	b, _ := json.Marshal(envelope{Schema: k.Schema - 1, Key: k, Grid: testGrid()})
-	if err := os.WriteFile(s.Path(k), b, 0o644); err != nil {
+	b, _ := json.Marshal(cellEnvelope{Schema: k.Schema - 1, Key: k, Result: testResult()})
+	if err := os.WriteFile(s.CellPath(k), b, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, ok := s.LoadGrid(k); ok {
+	if _, ok := s.LoadCell(k); ok {
 		t.Fatal("stale-schema entry must be a miss")
 	}
 	// A key mismatch (fingerprint collision / hand-edited file) is a
 	// miss too.
 	other := k
-	other.Models = []string{"resnet50"}
-	b, _ = json.Marshal(envelope{Schema: k.Schema, Key: other, Grid: testGrid()})
-	if err := os.WriteFile(s.Path(k), b, 0o644); err != nil {
+	other.Cell = []AxisValue{{Axis: "model", Value: "densenet121"}}
+	b, _ = json.Marshal(cellEnvelope{Schema: k.Schema, Key: other, Result: testResult()})
+	if err := os.WriteFile(s.CellPath(k), b, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, ok := s.LoadGrid(k); ok {
+	if _, ok := s.LoadCell(k); ok {
 		t.Fatal("key-mismatch entry must be a miss")
 	}
 }
@@ -118,12 +123,13 @@ func TestSchemaMismatchIsMiss(t *testing.T) {
 func TestFingerprintSensitivity(t *testing.T) {
 	base := testKey()
 	fp := base.Fingerprint()
-	mutate := []func(*Key){
-		func(k *Key) { k.Experiment = "other" },
-		func(k *Key) { k.Models = []string{"bert_base_mrpc", "resnet50"} }, // order matters
-		func(k *Key) { k.Recipes = k.Recipes[:1] },
-		func(k *Key) { k.Seed = 1 },
-		func(k *Key) { k.Schema++ },
+	mutate := []func(*CellKey){
+		func(k *CellKey) { k.Grid = "other" },
+		func(k *CellKey) { k.Cell[0].Value = "densenet121" },
+		func(k *CellKey) { k.Cell[0], k.Cell[1] = k.Cell[1], k.Cell[0] }, // order matters
+		func(k *CellKey) { k.Cell = k.Cell[:1] },
+		func(k *CellKey) { k.Seed = 1 },
+		func(k *CellKey) { k.Schema++ },
 	}
 	for i, mut := range mutate {
 		k := testKey()
@@ -137,13 +143,143 @@ func TestFingerprintSensitivity(t *testing.T) {
 	}
 }
 
+func TestManifestRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.LoadManifest("table2-sweep", 0); ok {
+		t.Fatal("empty store must miss manifests")
+	}
+	m := testManifest()
+	if err := s.SaveManifest(m); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.LoadManifest("table2-sweep", 0)
+	if !ok {
+		t.Fatal("saved manifest must load")
+	}
+	m.Schema = SchemaVersion
+	if !reflect.DeepEqual(got, m) {
+		t.Errorf("manifest = %+v, want %+v", got, m)
+	}
+	// Manifest traffic must not pollute the cell counters.
+	if st := s.Stats(); st != (Stats{}) {
+		t.Errorf("manifest traffic counted in stats: %+v", st)
+	}
+	if _, ok := s.LoadManifest("table2-sweep", 7); ok {
+		t.Error("different seed must miss")
+	}
+}
+
+func TestPruneRemovesStaleEntries(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := testKey()
+	if err := s.SaveCell(k, testResult()); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SaveManifest(testManifest()); err != nil {
+		t.Fatal(err)
+	}
+	// A schema-1 whole-grid blob from the pre-cell store, a corrupt
+	// store-named cell file, and an abandoned temp file must go. A
+	// *fresh* temp file (a possibly in-flight write) and foreign files
+	// — even .json ones — must survive.
+	stale := []string{
+		"deadbeefdeadbeefdeadbeefdeadbeef.json",
+		"c-0123456789abcdef0123456789abcdef.json",
+		".cell-1234.tmp",
+	}
+	os.WriteFile(filepath.Join(dir, stale[0]), []byte(`{"schema":1,"key":{},"grid":[]}`), 0o644)
+	os.WriteFile(filepath.Join(dir, stale[1]), []byte(`not json`), 0o644)
+	os.WriteFile(filepath.Join(dir, stale[2]), []byte(`partial`), 0o644)
+	old := time.Now().Add(-2 * tmpGrace)
+	if err := os.Chtimes(filepath.Join(dir, stale[2]), old, old); err != nil {
+		t.Fatal(err)
+	}
+	os.WriteFile(filepath.Join(dir, ".cell-5678.tmp"), []byte(`in flight`), 0o644)
+	os.WriteFile(filepath.Join(dir, "README.txt"), []byte(`keep me`), 0o644)
+	os.WriteFile(filepath.Join(dir, "notes.json"), []byte(`{"mine": true}`), 0o644)
+
+	n, err := s.Prune(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(stale) {
+		t.Errorf("Prune removed %d files, want %d", n, len(stale))
+	}
+	for _, f := range stale {
+		if _, err := os.Stat(filepath.Join(dir, f)); !os.IsNotExist(err) {
+			t.Errorf("stale file %s survived Prune", f)
+		}
+	}
+	for _, keep := range []string{"README.txt", "notes.json"} {
+		if _, err := os.Stat(filepath.Join(dir, keep)); err != nil {
+			t.Errorf("Prune must not touch foreign file %s", keep)
+		}
+	}
+	if _, err := os.Stat(filepath.Join(dir, ".cell-5678.tmp")); err != nil {
+		t.Error("Prune must not delete a fresh (possibly in-flight) temp file")
+	}
+	if _, ok := s.LoadCell(k); !ok {
+		t.Error("current-schema cell must survive Prune(0)")
+	}
+	if _, ok := s.LoadManifest("table2-sweep", 0); !ok {
+		t.Error("current-schema manifest must survive Prune(0)")
+	}
+}
+
+func TestPruneMaxAge(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := testKey()
+	if err := s.SaveCell(k, testResult()); err != nil {
+		t.Fatal(err)
+	}
+	// Fresh entry survives an age-bounded prune...
+	if n, err := s.Prune(time.Hour); err != nil || n != 0 {
+		t.Fatalf("Prune(1h) on fresh entry = %d, %v; want 0, nil", n, err)
+	}
+	// ...but an old one is removed.
+	old := time.Now().Add(-2 * time.Hour)
+	if err := os.Chtimes(s.CellPath(k), old, old); err != nil {
+		t.Fatal(err)
+	}
+	n, err := s.Prune(time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Errorf("Prune(1h) removed %d files, want 1", n)
+	}
+	if _, ok := s.LoadCell(k); ok {
+		t.Error("aged-out cell should be gone")
+	}
+}
+
 func TestNilStoreIsInert(t *testing.T) {
 	var s *Store
-	if _, ok := s.LoadGrid(testKey()); ok {
+	if _, ok := s.LoadCell(testKey()); ok {
 		t.Error("nil store must miss")
 	}
-	if err := s.SaveGrid(testKey(), testGrid()); err != nil {
-		t.Error("nil store SaveGrid must be a no-op")
+	if err := s.SaveCell(testKey(), testResult()); err != nil {
+		t.Error("nil store SaveCell must be a no-op")
+	}
+	if err := s.SaveManifest(testManifest()); err != nil {
+		t.Error("nil store SaveManifest must be a no-op")
+	}
+	if _, ok := s.LoadManifest("x", 0); ok {
+		t.Error("nil store must miss manifests")
+	}
+	if n, err := s.Prune(0); n != 0 || err != nil {
+		t.Error("nil store Prune must be a no-op")
 	}
 	if s.Stats() != (Stats{}) || s.Dir() != "" {
 		t.Error("nil store must report empty stats and dir")
@@ -156,10 +292,13 @@ func TestAtomicWriteLeavesNoTemp(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := s.SaveGrid(testKey(), testGrid()); err != nil {
+	if err := s.SaveCell(testKey(), testResult()); err != nil {
 		t.Fatal(err)
 	}
-	tmps, _ := filepath.Glob(filepath.Join(dir, ".grid-*.tmp"))
+	if err := s.SaveManifest(testManifest()); err != nil {
+		t.Fatal(err)
+	}
+	tmps, _ := filepath.Glob(filepath.Join(dir, "*.tmp"))
 	if len(tmps) != 0 {
 		t.Errorf("temp files left behind: %v", tmps)
 	}
