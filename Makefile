@@ -1,6 +1,11 @@
 GO ?= go
 
-.PHONY: all build vet fmt fmt-check test bench smoke ci
+# Minimum combined statement coverage (%) for internal/harness +
+# internal/resultstore. 71.2% was measured when the sharding subsystem
+# landed (PR 4); cover-check fails CI if it regresses below this.
+COVER_FLOOR ?= 71.0
+
+.PHONY: all build vet fmt fmt-check test bench smoke shard-smoke fuzz cover-check ci
 
 all: build
 
@@ -38,5 +43,50 @@ smoke:
 	grep -v "^(" "$$d/run1.txt" > "$$d/r1"; grep -v "^(" "$$d/run2.txt" > "$$d/r2"; \
 	cmp "$$d/r1" "$$d/r2" || { echo "smoke: warm report differs from cold"; exit 1; }; \
 	echo "smoke: warm run identical, 0 misses"
+
+# Distributed-sweep smoke: compute table3 as 3 disjoint shards into 3
+# separate stores, merge them, and check (a) -coverage reports the
+# merged store complete, (b) a warm full run against it has 0 misses,
+# and (c) its report is byte-identical to an unsharded workers=1 run
+# (timing/cache footer lines, which start with "(", are excluded).
+shard-smoke:
+	@set -e; d=$$(mktemp -d); trap 'rm -rf "$$d"' EXIT; \
+	$(GO) build -o "$$d/fp8bench" ./cmd/fp8bench; \
+	for i in 1 2 3; do \
+		"$$d/fp8bench" -exp table3 -shard $$i/3 -cache-dir "$$d/shard$$i" > /dev/null; \
+	done; \
+	"$$d/fp8bench" -merge "$$d/shard1,$$d/shard2,$$d/shard3" -cache-dir "$$d/merged"; \
+	"$$d/fp8bench" -exp table3 -coverage -cache-dir "$$d/merged" | tee "$$d/cov.txt"; \
+	grep -q "all experiment grids complete" "$$d/cov.txt" || { \
+		echo "shard-smoke: merged store incomplete"; exit 1; }; \
+	"$$d/fp8bench" -exp table3 -workers 1 -no-cache > "$$d/ref.txt"; \
+	"$$d/fp8bench" -exp table3 -workers 1 -cache-dir "$$d/merged" > "$$d/warm.txt"; \
+	grep -q ", 0 misses," "$$d/warm.txt" || { \
+		echo "shard-smoke: warm run over merged store had misses:"; \
+		grep "result store" "$$d/warm.txt"; exit 1; }; \
+	grep -v "^(" "$$d/ref.txt" > "$$d/r1"; grep -v "^(" "$$d/warm.txt" > "$$d/r2"; \
+	cmp "$$d/r1" "$$d/r2" || { \
+		echo "shard-smoke: merged report differs from unsharded run"; exit 1; }; \
+	echo "shard-smoke: 3 shards merged, coverage complete, report identical, 0 misses"
+
+# Short bounded pass over each native fuzz target (the codec oracle
+# equivalence); run with a larger FUZZTIME locally to dig deeper.
+FUZZTIME ?= 15s
+fuzz:
+	$(GO) test -run=NONE -fuzz=FuzzEncodeRoundTrip -fuzztime=$(FUZZTIME) ./internal/fp8
+	$(GO) test -run=NONE -fuzz=FuzzQuantizeScaledSlice -fuzztime=$(FUZZTIME) ./internal/fp8
+
+# Full-suite coverage profile + combined floor check for the sharding
+# subsystem's packages (internal/harness + internal/resultstore).
+cover-check:
+	$(GO) test -coverprofile=coverage.out ./...
+	@awk -v floor=$(COVER_FLOOR) -F'[ ]' ' \
+		NR > 1 && $$1 ~ /^fp8quant\/internal\/(harness|resultstore)\//{ \
+			total += $$2; if ($$3 > 0) covered += $$2 } \
+		END { \
+			if (total == 0) { print "cover-check: no statements matched"; exit 1 } \
+			pct = 100 * covered / total; \
+			printf "harness+resultstore combined coverage: %.1f%% (floor %.1f%%)\n", pct, floor; \
+			exit (pct < floor) }' coverage.out
 
 ci: build vet fmt-check test

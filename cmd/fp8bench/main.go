@@ -9,6 +9,9 @@
 //	fp8bench -exp table2 -workers 4      bound the sweep worker pool
 //	fp8bench -exp table2 -filter "model=resnet50;densenet121"   run a sub-grid
 //	fp8bench -exp table2 -json           machine-readable report on stdout
+//	fp8bench -exp table2 -shard 2/3      compute only the 2nd of 3 grid shards
+//	fp8bench -merge dir1,dir2            merge shard stores into -cache-dir
+//	fp8bench -exp table2 -coverage       report done/missing cells per grid
 //	fp8bench -cache-clear                prune stale/old-schema store entries
 //	fp8bench -models                     list the 75-model zoo with metadata
 //
@@ -21,6 +24,14 @@
 // report without recomputing. -no-cache disables the store; each
 // experiment footer reports its cell cache traffic, and a progress
 // line on stderr shows cells done/total while a grid executes.
+//
+// A sweep too slow for one machine shards: -shard i/n computes only
+// the i-th of n disjoint slices of each grid into this process's
+// store, -merge folds the resulting stores together (cells are
+// content-addressed, so merging is copying), and -coverage diffs each
+// grid's manifest against the merged store to show what is still
+// missing. A warm run against the merged store then renders the full
+// report, byte-identical to an unsharded run.
 package main
 
 import (
@@ -29,6 +40,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -50,6 +63,9 @@ func main() {
 	cacheMaxAge := flag.Duration("cache-max-age", 0, "with -cache-clear, also remove entries older than this age (0 = schema-stale only)")
 	filterFlag := flag.String("filter", "", `run only matching cells, e.g. "model=resnet50;densenet121,recipe=E4M3 Static"`)
 	jsonOut := flag.Bool("json", false, "emit a machine-readable JSON report on stdout")
+	shardFlag := flag.String("shard", "", `compute only the i-th of n disjoint grid slices, e.g. "2/3" (1-based)`)
+	mergeFlag := flag.String("merge", "", "comma-separated store directories to merge into -cache-dir")
+	coverage := flag.Bool("coverage", false, "report done/missing cells per experiment instead of running (exits nonzero if any grid is incomplete)")
 	flag.Parse()
 	harness.SetWorkers(*workers)
 	if !*noCache && *cacheDir != "" {
@@ -58,6 +74,26 @@ func main() {
 			fmt.Fprintf(os.Stderr, "warning: result store disabled: %v\n", err)
 		} else {
 			harness.SetStore(s)
+		}
+	}
+	shard, err := parseShard(*shardFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "-shard: %v\n", err)
+		os.Exit(1)
+	}
+	if shard.Enabled() && harness.Store() == nil {
+		// A shard's whole output is its store; without one the computed
+		// cells would be discarded and the slices could never merge.
+		fmt.Fprintln(os.Stderr, "-shard: no result store configured (set -cache-dir, drop -no-cache)")
+		os.Exit(1)
+	}
+	if *mergeFlag != "" {
+		if err := mergeStores(harness.Store(), *mergeFlag); err != nil {
+			fmt.Fprintf(os.Stderr, "-merge: %v\n", err)
+			os.Exit(1)
+		}
+		if *exp == "" && !*coverage && !*list && !*listModels && !*cacheClear {
+			return
 		}
 	}
 	if *cacheClear {
@@ -72,7 +108,7 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "pruned %d stale entries from %s\n", n, s.Dir())
-		if *exp == "" && !*list && !*listModels {
+		if *exp == "" && !*coverage && !*list && !*listModels {
 			return
 		}
 	}
@@ -83,6 +119,24 @@ func main() {
 	}
 
 	switch {
+	case *coverage:
+		ids := harness.IDs()
+		if *exp != "" {
+			if ids, err = resolveIDs(*exp); err != nil {
+				fmt.Fprintf(os.Stderr, "%v; use -list\n", err)
+				os.Exit(1)
+			}
+		}
+		incomplete, err := printCoverage(harness.Store(), ids)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "-coverage: %v\n", err)
+			os.Exit(1)
+		}
+		if incomplete > 0 {
+			// Nonzero exit so scripts can gate "merge done?" on the
+			// status instead of grepping the report text.
+			os.Exit(1)
+		}
 	case *list:
 		for _, id := range harness.IDs() {
 			e, _ := harness.Get(id)
@@ -101,6 +155,10 @@ func main() {
 		ids, err := resolveIDs(*exp)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%v; use -list\n", err)
+			os.Exit(1)
+		}
+		if err := validateFilterAxes(ids, filter); err != nil {
+			fmt.Fprintf(os.Stderr, "-filter: %v\n", err)
 			os.Exit(1)
 		}
 		if stderrIsTerminal() {
@@ -123,7 +181,7 @@ func main() {
 					continue
 				}
 			}
-			o := runOne(id, filter, *jsonOut)
+			o := runOne(id, filter, shard, *jsonOut)
 			if o.Error != "" {
 				failed++
 			}
@@ -222,12 +280,157 @@ type cacheReport struct {
 	Writes int64 `json:"writes"`
 }
 
+// parseShard parses the -shard flag: "i/n" with 1 <= i <= n selects
+// the i-th of n disjoint grid slices ("" means unsharded).
+func parseShard(s string) (harness.Shard, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return harness.Shard{}, nil
+	}
+	parts := strings.Split(s, "/")
+	if len(parts) != 2 {
+		return harness.Shard{}, fmt.Errorf("bad shard %q (want i/n, e.g. 2/3)", s)
+	}
+	i, err1 := strconv.Atoi(strings.TrimSpace(parts[0]))
+	n, err2 := strconv.Atoi(strings.TrimSpace(parts[1]))
+	if err1 != nil || err2 != nil {
+		return harness.Shard{}, fmt.Errorf("bad shard %q (want i/n, e.g. 2/3)", s)
+	}
+	if n < 1 || i < 1 || i > n {
+		return harness.Shard{}, fmt.Errorf("shard %q out of range (want 1 <= i <= n)", s)
+	}
+	return harness.Shard{Index: i - 1, Count: n}, nil
+}
+
+// mergeStores folds each comma-separated source store into dst.
+func mergeStores(dst *resultstore.Store, dirs string) error {
+	if dst == nil {
+		return fmt.Errorf("no destination store configured (set -cache-dir, drop -no-cache)")
+	}
+	for _, dir := range strings.Split(dirs, ",") {
+		dir = strings.TrimSpace(dir)
+		if dir == "" {
+			continue
+		}
+		src, err := resultstore.Open(dir)
+		if err != nil {
+			return err
+		}
+		st, err := dst.Merge(src)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "merged %s into %s: %s\n", dir, dst.Dir(), st)
+	}
+	return nil
+}
+
+// validateFilterAxes rejects a filter naming an axis no requested
+// experiment declares — a typo'd axis would otherwise select empty
+// sub-grids everywhere and read like "no cells matched". An axis valid
+// for some experiments but not others stays fine: the batch loop skips
+// the experiments it does not apply to.
+func validateFilterAxes(ids []string, f harness.Filter) error {
+	if len(f) == 0 {
+		return nil
+	}
+	// An axis is unknown to the batch when every requested experiment's
+	// spec reports it unknown (same rule as GridSpec.ValidateFilter,
+	// relaxed across the batch).
+	unknownEverywhere := map[string]int{}
+	specs := 0
+	for _, id := range ids {
+		if e, ok := harness.Get(id); ok {
+			specs++
+			for _, name := range e.Spec().UnknownAxes(f) {
+				unknownEverywhere[name]++
+			}
+		}
+	}
+	var unknown []string
+	for name, n := range unknownEverywhere {
+		if n == specs {
+			unknown = append(unknown, name)
+		}
+	}
+	if len(unknown) == 0 {
+		return nil
+	}
+	sort.Strings(unknown)
+	var grids []string
+	for _, id := range ids {
+		e, ok := harness.Get(id)
+		if !ok {
+			continue
+		}
+		axes := e.Spec().AxisNames()
+		if len(axes) == 0 {
+			grids = append(grids, id+": (no axes)")
+		} else {
+			grids = append(grids, id+": "+strings.Join(axes, ", "))
+		}
+	}
+	return fmt.Errorf("unknown axis %s; valid axes per experiment — %s",
+		strings.Join(unknown, ", "), strings.Join(grids, "; "))
+}
+
+// printCoverage diffs each experiment's grid manifest against the
+// store's on-disk cells and returns how many grids are incomplete.
+// The stored manifest is preferred (it is what a completed or sharded
+// run recorded, including shard provenance); a grid never run against
+// this store falls back to the schedule derived from its spec.
+// Experiments sharing a grid share coverage; each is still listed,
+// matching -exp semantics. Scalar experiments have no cells and are
+// skipped.
+func printCoverage(s *resultstore.Store, ids []string) (int, error) {
+	if s == nil {
+		return 0, fmt.Errorf("no result store configured (set -cache-dir, drop -no-cache)")
+	}
+	fmt.Printf("%-14s %-22s %7s %7s %8s %9s  %s\n",
+		"experiment", "grid", "cells", "done", "missing", "complete", "shards")
+	incomplete := 0
+	for _, id := range ids {
+		e, ok := harness.Get(id)
+		if !ok {
+			continue
+		}
+		spec := e.Spec()
+		if spec.NumCells() == 0 {
+			continue
+		}
+		m, ok := s.LoadManifest(spec.ID, spec.Seed)
+		if !ok {
+			m = harness.ManifestFor(spec)
+		}
+		cov := s.Coverage(m)
+		if !cov.Complete() {
+			incomplete++
+		}
+		shards := "-"
+		if len(m.Shards) > 0 {
+			var parts []string
+			for _, r := range m.Shards {
+				parts = append(parts, fmt.Sprintf("%d/%d", r.Index+1, r.Count))
+			}
+			shards = strings.Join(parts, ",")
+		}
+		fmt.Printf("%-14s %-22s %7d %7d %8d %8.1f%%  %s\n",
+			id, spec.ID, cov.Total, cov.Done, len(cov.Missing), cov.Percent(), shards)
+	}
+	if incomplete > 0 {
+		fmt.Printf("%d experiment grid(s) incomplete in %s\n", incomplete, s.Dir())
+	} else {
+		fmt.Printf("all experiment grids complete in %s\n", s.Dir())
+	}
+	return incomplete, nil
+}
+
 // runOne executes one experiment, printing its report (text mode) and
 // returning the structured form (JSON mode). Panics are recovered and
 // reported per experiment, so one failing experiment cannot abort an
 // -exp all batch, and the elapsed-time and cache footers are printed
 // either way.
-func runOne(id string, f harness.Filter, jsonMode bool) (out expReport) {
+func runOne(id string, f harness.Filter, sh harness.Shard, jsonMode bool) (out expReport) {
 	e, ok := harness.Get(id)
 	if !ok {
 		return expReport{ID: id, Error: "unknown experiment"}
@@ -237,7 +440,11 @@ func runOne(id string, f harness.Filter, jsonMode bool) (out expReport) {
 	before := s.Stats()
 	t0 := time.Now()
 	if !jsonMode {
-		fmt.Printf("=== %s — %s ===\n", id, e.Title())
+		if sh.Enabled() {
+			fmt.Printf("=== %s — %s (shard %s) ===\n", id, e.Title(), sh)
+		} else {
+			fmt.Printf("=== %s — %s ===\n", id, e.Title())
+		}
 	}
 	defer func() {
 		if r := recover(); r != nil {
@@ -264,7 +471,7 @@ func runOne(id string, f harness.Filter, jsonMode bool) (out expReport) {
 			fmt.Println()
 		}
 	}()
-	grid, sel, err := harness.RunGrid(e, f)
+	grid, sel, err := harness.RunGrid(e, f, sh)
 	if err != nil {
 		out.Error = err.Error()
 		return out

@@ -1,0 +1,101 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"fp8quant/internal/harness"
+)
+
+// TestParseShard covers the -shard flag syntax: 1-based "i/n" mapped
+// to the harness's 0-based plan, with malformed and out-of-range specs
+// rejected.
+func TestParseShard(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    harness.Shard
+		wantErr bool
+	}{
+		{in: "", want: harness.Shard{}},
+		{in: "  ", want: harness.Shard{}},
+		{in: "1/1", want: harness.Shard{Index: 0, Count: 1}},
+		{in: "1/3", want: harness.Shard{Index: 0, Count: 3}},
+		{in: "3/3", want: harness.Shard{Index: 2, Count: 3}},
+		{in: " 2 / 3 ", want: harness.Shard{Index: 1, Count: 3}},
+		{in: "0/3", wantErr: true}, // 1-based
+		{in: "4/3", wantErr: true}, // out of range
+		{in: "-1/3", wantErr: true},
+		{in: "1/0", wantErr: true},
+		{in: "1/-2", wantErr: true},
+		{in: "1", wantErr: true},
+		{in: "1/2/3", wantErr: true},
+		{in: "a/b", wantErr: true},
+		{in: "1/n", wantErr: true},
+	}
+	for _, tc := range cases {
+		got, err := parseShard(tc.in)
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("parseShard(%q) = %+v, want error", tc.in, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("parseShard(%q): %v", tc.in, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("parseShard(%q) = %+v, want %+v", tc.in, got, tc.want)
+		}
+		if err := got.Validate(); err != nil {
+			t.Errorf("parseShard(%q) produced invalid plan: %v", tc.in, err)
+		}
+	}
+}
+
+// TestValidateFilterAxes pins the unknown-axis hard error: an axis no
+// requested experiment declares fails fast with the per-experiment
+// axis lists, while an axis valid for at least one experiment passes
+// (the batch loop skips the others).
+func TestValidateFilterAxes(t *testing.T) {
+	if err := validateFilterAxes([]string{"table2"}, nil); err != nil {
+		t.Errorf("nil filter: %v", err)
+	}
+	if err := validateFilterAxes([]string{"table2"}, harness.Filter{"model": {"resnet50"}}); err != nil {
+		t.Errorf("declared axis: %v", err)
+	}
+	// fig6 has no "model" axis, but table2 does — valid for the batch.
+	if err := validateFilterAxes([]string{"table2", "fig6"}, harness.Filter{"model": {"resnet50"}}); err != nil {
+		t.Errorf("axis valid for one of two experiments: %v", err)
+	}
+	err := validateFilterAxes([]string{"table2"}, harness.Filter{"modle": {"resnet50"}})
+	if err == nil {
+		t.Fatal("typo'd axis must be a hard error, not an empty sub-grid")
+	}
+	for _, want := range []string{"modle", "table2", "model"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q should mention %q", err, want)
+		}
+	}
+	// Scalar experiments are called out rather than listed as empty.
+	err = validateFilterAxes([]string{"fig1"}, harness.Filter{"model": {"x"}})
+	if err == nil || !strings.Contains(err.Error(), "no axes") {
+		t.Errorf("scalar-only error = %v, want a no-axes note", err)
+	}
+}
+
+// TestResolveIDs covers the -exp argument expansion.
+func TestResolveIDs(t *testing.T) {
+	ids, err := resolveIDs("table2, table3")
+	if err != nil || len(ids) != 2 || ids[0] != "table2" || ids[1] != "table3" {
+		t.Errorf("resolveIDs = %v, %v", ids, err)
+	}
+	if all, err := resolveIDs("all"); err != nil || len(all) != len(harness.IDs()) {
+		t.Errorf("resolveIDs(all) = %d ids, %v", len(all), err)
+	}
+	for _, bad := range []string{"", ",", "nope", "table2,nope"} {
+		if _, err := resolveIDs(bad); err == nil {
+			t.Errorf("resolveIDs(%q) should error", bad)
+		}
+	}
+}

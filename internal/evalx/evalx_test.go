@@ -1,6 +1,7 @@
 package evalx
 
 import (
+	"encoding/json"
 	"math"
 	"testing"
 
@@ -152,5 +153,45 @@ func TestFormatOrderingOnOutlierNLP(t *testing.T) {
 	if res[0].QAcc <= res[1].QAcc {
 		t.Errorf("E4M3 static (%.4f) should beat dynamic INT8 (%.4f) on outlier NLP",
 			res[0].QAcc, res[1].QAcc)
+	}
+}
+
+// TestResultJSONByteDeterministic pins the serialization contract the
+// distributed-sweep store merge relies on: two shards computing the
+// same cell must emit byte-identical JSON, or Store.Merge would flag
+// every shared cell as a conflict. Map-valued Metrics are the risky
+// part — encoding/json must sort the keys regardless of insertion
+// order.
+func TestResultJSONByteDeterministic(t *testing.T) {
+	values := map[string]float64{"fid": 12.5, "mse": 1e-6, "divergence": 0.25}
+	build := func(order []string) Result {
+		m := map[string]float64{}
+		for _, k := range order {
+			m[k] = values[k]
+		}
+		return Result{
+			Model: "bloom_560m", Domain: models.NLP, Recipe: "E4M3 Static",
+			BaseAcc: 1, QAcc: 0.993, RelLoss: 0.007, Pass: true, Metrics: m,
+		}
+	}
+	a, err := json.Marshal(build([]string{"fid", "mse", "divergence"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(build([]string{"divergence", "fid", "mse"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Errorf("Result encoding depends on Metrics insertion order:\n%s\n%s", a, b)
+	}
+	// And the round trip is exact, including the map.
+	var back Result
+	if err := json.Unmarshal(a, &back); err != nil {
+		t.Fatal(err)
+	}
+	c, _ := json.Marshal(back)
+	if string(c) != string(a) {
+		t.Errorf("Result does not JSON round-trip byte-exactly:\n%s\n%s", a, c)
 	}
 }

@@ -53,6 +53,28 @@ func ClearMemo() {
 	clearGenRefs()
 }
 
+// lookupCell returns the cell's result if the memo or the store
+// already holds it, without ever computing. Sharded runs use it to
+// render sibling shards' cells when present; an absent cell counts a
+// store miss, which is exactly what it is.
+func lookupCell(k resultstore.CellKey) (evalx.Result, bool) {
+	fp := k.Fingerprint()
+	cacheMu.Lock()
+	r, ok := memo[fp]
+	s := store
+	cacheMu.Unlock()
+	if ok {
+		return r, true
+	}
+	if r, ok := s.LoadCell(k); ok {
+		cacheMu.Lock()
+		memo[fp] = r
+		cacheMu.Unlock()
+		return r, true
+	}
+	return evalx.Result{}, false
+}
+
 // cachedCell returns the result for the cell key, trying the
 // in-process memo, then the disk store, then computing it (and
 // persisting the result). Errored cells (Err != "") are memoized for

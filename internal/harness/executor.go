@@ -24,10 +24,16 @@ import (
 // by the filter; renderers skip them like any other errored cell.
 const ErrNotSelected = "cell not selected by the filter"
 
+// ErrNotInShard marks the cells a sharded run neither computed (they
+// belong to another shard) nor found in the store; renderers skip
+// them. Once the sibling shards' stores are merged, a warm run fills
+// every cell and the sentinel disappears.
+const ErrNotInShard = "cell assigned to another shard and absent from the store"
+
 // Run executes the experiment end to end: every grid cell through the
 // cache layers on the sweep worker pool, then Render.
 func Run(e Experiment) *Report {
-	g, _, err := RunGrid(e, nil)
+	g, _, err := RunGrid(e, nil, Shard{})
 	if err != nil {
 		// Unreachable with a nil filter; keep the report well-formed.
 		return &Report{Text: "error: " + err.Error(), Values: map[string]float64{}}
@@ -38,10 +44,24 @@ func Run(e Experiment) *Report {
 // RunGrid evaluates the cells of e selected by the filter (nil or
 // empty = all) and returns the grid plus the selected row-major
 // indices. Unselected cells stay zero-valued in the grid. A non-empty
-// filter that matches no cell is an error.
-func RunGrid(e Experiment, f Filter) (*Grid, []int, error) {
+// filter that matches no cell, or one naming an axis the grid does not
+// declare, is an error.
+//
+// A non-trivial shard plan restricts computation to this shard's slice
+// of the selection: other shards' cells are filled from the memo or
+// the store when present and marked ErrNotInShard when not, so the
+// render shows whatever is known locally without recomputing sibling
+// work. The returned selection still covers the whole filtered
+// sub-grid — sharding changes who computes, not what the grid means.
+func RunGrid(e Experiment, f Filter, sh Shard) (*Grid, []int, error) {
 	spec := e.Spec()
 	n := spec.NumCells()
+	if err := sh.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if err := spec.ValidateFilter(f); err != nil {
+		return nil, nil, err
+	}
 	sel := spec.Select(f)
 	if len(f) > 0 && len(sel) == 0 {
 		// Covers axis-less (scalar) experiments too: a filter can never
@@ -61,19 +81,40 @@ func RunGrid(e Experiment, f Filter) (*Grid, []int, error) {
 	if len(sel) == 0 {
 		return g, sel, nil
 	}
+	mine := sel
+	if sh.Enabled() {
+		// Round-robin over the *positions* of the selected cells, not
+		// their absolute grid indices: a filter can select indices that
+		// all share a residue class (one recipe column of a [model,
+		// recipe] grid selects every 6th index), which would starve all
+		// but one shard. Position-based slicing always balances within
+		// one cell, and for an unfiltered run (sel = identity) it
+		// coincides with GridSpec.Shard.
+		mine = make([]int, 0, len(sel)/sh.Count+1)
+		for k, idx := range sel {
+			if sh.Owns(k) {
+				mine = append(mine, idx)
+			} else if r, ok := lookupCell(spec.CellKey(spec.CellAt(idx))); ok {
+				g.Results[idx] = r
+			} else {
+				g.Results[idx] = evalx.Result{Err: ErrNotInShard}
+			}
+		}
+	}
 	var done atomic.Int64
-	reportProgress(e.ID(), 0, len(sel))
-	forEachCell(len(sel), func(k int) {
-		c := spec.CellAt(sel[k])
-		g.Results[sel[k]] = cachedCell(spec.CellKey(c), func() evalx.Result {
+	reportProgress(e.ID(), 0, len(mine))
+	forEachCell(len(mine), func(k int) {
+		c := spec.CellAt(mine[k])
+		g.Results[mine[k]] = cachedCell(spec.CellKey(c), func() evalx.Result {
 			return runCellSafe(e, spec, c)
 		})
-		reportProgress(e.ID(), int(done.Add(1)), len(sel))
+		reportProgress(e.ID(), int(done.Add(1)), len(mine))
 	})
-	// A full run knows the complete schedule; record it once so tooling
-	// can reason about store coverage without re-deriving the spec.
+	// A full-schedule run (sharded or not) knows the complete cell set;
+	// record it so coverage tooling and store merges can reason about
+	// the sweep without re-deriving the spec.
 	if s := Store(); s != nil && len(sel) == n {
-		saveManifest(s, spec)
+		saveManifest(s, spec, sh)
 	}
 	return g, sel, nil
 }
@@ -144,7 +185,36 @@ func formatMetrics(m map[string]float64) string {
 // manifest that no longer matches the spec — the grid's axes can
 // legitimately change without a schema bump (a model added to the
 // zoo), and a stale manifest would misreport store coverage forever.
-func saveManifest(s *resultstore.Store, spec GridSpec) {
+// A sharded run stamps its shard record into the manifest's provenance
+// (preserving records already there), so a store can tell which slices
+// of a distributed sweep have run against it. The load-union-save is
+// not atomic across processes: two shards finishing simultaneously
+// against the *same* store can each miss the other's record (the
+// intended deployment is one store per shard, merged afterwards, where
+// Merge performs the union race-free). Only the provenance column of
+// -coverage is affected — cells are content-addressed and unharmed.
+func saveManifest(s *resultstore.Store, spec GridSpec, sh Shard) {
+	m := ManifestFor(spec)
+	old, ok := s.LoadManifest(spec.ID, spec.Seed)
+	if ok && old.SameSchedule(m) {
+		m.Shards = old.Shards
+	}
+	if sh.Enabled() {
+		rec := resultstore.ShardRecord{Index: sh.Index, Count: sh.Count}
+		m.Shards = resultstore.UnionShards(m.Shards, []resultstore.ShardRecord{rec})
+	}
+	if ok && reflect.DeepEqual(old, m) {
+		return
+	}
+	if err := s.SaveManifest(m); err != nil {
+		fmt.Fprintf(os.Stderr, "warning: manifest write failed: %v\n", err)
+	}
+}
+
+// ManifestFor derives a grid's full schedule manifest from its spec —
+// the same manifest a completed run records. Coverage tooling uses it
+// when a store predates manifests or the sweep never started.
+func ManifestFor(spec GridSpec) resultstore.Manifest {
 	m := resultstore.Manifest{Grid: spec.ID, Seed: spec.Seed, Schema: resultstore.SchemaVersion}
 	for _, a := range spec.Axes {
 		m.Axes = append(m.Axes, resultstore.ManifestAxis{Name: a.Name, Values: a.Values})
@@ -154,12 +224,7 @@ func saveManifest(s *resultstore.Store, spec GridSpec) {
 	for i := 0; i < n; i++ {
 		m.Cells[i] = spec.CellKey(spec.CellAt(i)).Fingerprint()
 	}
-	if old, ok := s.LoadManifest(spec.ID, spec.Seed); ok && reflect.DeepEqual(old, m) {
-		return
-	}
-	if err := s.SaveManifest(m); err != nil {
-		fmt.Fprintf(os.Stderr, "warning: manifest write failed: %v\n", err)
-	}
+	return m
 }
 
 // progressFn receives (experiment id, cells done, cells selected)

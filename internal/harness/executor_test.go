@@ -155,7 +155,7 @@ func TestRunGridRecoversCellPanic(t *testing.T) {
 		}
 		e := gridExp{id: "panic-test", title: "panic test", spec: spec, cell: cell,
 			render: func(g *Grid) *Report { return &Report{Text: "ok", Values: map[string]float64{}} }}
-		g, _, err := RunGrid(e, nil)
+		g, _, err := RunGrid(e, nil, Shard{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -179,7 +179,7 @@ func TestRunGridFilterSelectsSubGrid(t *testing.T) {
 	SetStore(nil)
 	e, computes := newExecTestExp()
 	f := Filter{"model": {"mb"}}
-	g, sel, err := RunGrid(e, f)
+	g, sel, err := RunGrid(e, f, Shard{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -212,10 +212,10 @@ func TestRunGridFilterNoMatch(t *testing.T) {
 	withCleanCache(t)
 	SetStore(nil)
 	e, computes := newExecTestExp()
-	if _, _, err := RunGrid(e, Filter{"model": {"nope"}}); err == nil {
+	if _, _, err := RunGrid(e, Filter{"model": {"nope"}}, Shard{}); err == nil {
 		t.Fatal("unmatched filter should error")
 	}
-	if _, _, err := RunGrid(e, Filter{"no-such-axis": {"x"}}); err == nil {
+	if _, _, err := RunGrid(e, Filter{"no-such-axis": {"x"}}, Shard{}); err == nil {
 		t.Fatal("unknown filter axis should error")
 	}
 	if got := computes.Load(); got != 0 {
@@ -224,7 +224,7 @@ func TestRunGridFilterNoMatch(t *testing.T) {
 	// A filter can never apply to an axis-less (scalar) experiment —
 	// that must error too, not silently succeed with zero cells.
 	scalar, _ := Get("fig1")
-	if _, _, err := RunGrid(scalar, Filter{"model": {"resnet50"}}); err == nil {
+	if _, _, err := RunGrid(scalar, Filter{"model": {"resnet50"}}, Shard{}); err == nil {
 		t.Fatal("filter on a scalar experiment should error")
 	}
 }
@@ -273,35 +273,51 @@ func TestScalarExperimentRuns(t *testing.T) {
 	}
 }
 
-// TestParseFilter covers the -filter syntax.
+// TestParseFilter covers the -filter syntax table-driven: the happy
+// paths, whitespace trimming, duplicate axes (merged, order kept),
+// empty values and the malformed-term error paths.
 func TestParseFilter(t *testing.T) {
-	f, err := ParseFilter("model=resnet50;densenet121,recipe=E4M3 Static")
-	if err != nil {
-		t.Fatal(err)
+	cases := []struct {
+		name, in string
+		want     Filter
+		wantErr  bool
+	}{
+		{name: "empty means no filter", in: "", want: nil},
+		{name: "blank means no filter", in: "   ", want: nil},
+		{name: "single term", in: "model=resnet50",
+			want: Filter{"model": {"resnet50"}}},
+		{name: "alternatives and second axis", in: "model=resnet50;densenet121,recipe=E4M3 Static",
+			want: Filter{"model": {"resnet50", "densenet121"}, "recipe": {"E4M3 Static"}}},
+		{name: "whitespace around separators trimmed", in: " model = resnet50 ; densenet121 ",
+			want: Filter{"model": {"resnet50", "densenet121"}}},
+		{name: "duplicate axes merge in order", in: "model=a,recipe=r,model=b;c",
+			want: Filter{"model": {"a", "b", "c"}, "recipe": {"r"}}},
+		{name: "value containing equals kept whole", in: "recipe=E4M3(b=11)",
+			want: Filter{"recipe": {"E4M3(b=11)"}}},
+		{name: "bare axis", in: "model", wantErr: true},
+		{name: "missing axis name", in: "=x", wantErr: true},
+		{name: "empty value", in: "model=", wantErr: true},
+		{name: "empty alternative", in: "model=a;;b", wantErr: true},
+		{name: "blank alternative", in: "model=a; ", wantErr: true},
+		{name: "whitespace-only axis", in: " =a", wantErr: true},
+		{name: "trailing comma empty term", in: "model=a,", wantErr: true},
 	}
-	want := Filter{
-		"model":  {"resnet50", "densenet121"},
-		"recipe": {"E4M3 Static"},
-	}
-	if !reflect.DeepEqual(f, want) {
-		t.Errorf("ParseFilter = %v, want %v", f, want)
-	}
-	// Whitespace around separators must not leak into values — an
-	// untrimmed " densenet121" would silently match nothing.
-	f, err = ParseFilter(" model = resnet50 ; densenet121 ")
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !reflect.DeepEqual(f, Filter{"model": {"resnet50", "densenet121"}}) {
-		t.Errorf("ParseFilter with spaces = %v", f)
-	}
-	if f, err := ParseFilter(""); err != nil || f != nil {
-		t.Errorf("empty filter = %v, %v; want nil, nil", f, err)
-	}
-	for _, bad := range []string{"model", "=x", "model="} {
-		if _, err := ParseFilter(bad); err == nil {
-			t.Errorf("ParseFilter(%q) should error", bad)
-		}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			f, err := ParseFilter(tc.in)
+			if tc.wantErr {
+				if err == nil {
+					t.Fatalf("ParseFilter(%q) = %v, want error", tc.in, f)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("ParseFilter(%q): %v", tc.in, err)
+			}
+			if !reflect.DeepEqual(f, tc.want) {
+				t.Errorf("ParseFilter(%q) = %v, want %v", tc.in, f, tc.want)
+			}
+		})
 	}
 }
 

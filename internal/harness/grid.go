@@ -171,6 +171,51 @@ func (f Filter) String() string {
 	return strings.Join(parts, ",")
 }
 
+// AxisNames returns the spec's declared axis names in order.
+func (s GridSpec) AxisNames() []string {
+	out := make([]string, len(s.Axes))
+	for i, a := range s.Axes {
+		out[i] = a.Name
+	}
+	return out
+}
+
+// UnknownAxes returns, sorted, the filter's axis names the spec does
+// not declare — the single source of truth for "does this filter even
+// apply here", shared by ValidateFilter and the fp8bench batch
+// pre-check.
+func (s GridSpec) UnknownAxes(f Filter) []string {
+	declared := map[string]bool{}
+	for _, a := range s.Axes {
+		declared[a.Name] = true
+	}
+	var unknown []string
+	for name := range f {
+		if !declared[name] {
+			unknown = append(unknown, name)
+		}
+	}
+	sort.Strings(unknown)
+	return unknown
+}
+
+// ValidateFilter rejects a filter naming an axis the spec does not
+// declare. A typo'd axis name would otherwise select an empty sub-grid
+// and read like "no cells matched" — the error instead names the
+// offending axes and lists what the grid actually has.
+func (s GridSpec) ValidateFilter(f Filter) error {
+	unknown := s.UnknownAxes(f)
+	if len(unknown) == 0 {
+		return nil
+	}
+	if len(s.Axes) == 0 {
+		return fmt.Errorf("unknown filter axis %s: grid %s has no axes (scalar experiment)",
+			strings.Join(unknown, ", "), s.ID)
+	}
+	return fmt.Errorf("unknown filter axis %s: grid %s has axes %s",
+		strings.Join(unknown, ", "), s.ID, strings.Join(s.AxisNames(), ", "))
+}
+
 // Select returns the row-major indices of the cells matching the
 // filter (all cells for an empty filter).
 func (s GridSpec) Select(f Filter) []int {

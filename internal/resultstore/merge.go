@@ -1,0 +1,253 @@
+// Store merging and coverage: the distributed-sweep half of the
+// result store. Cells are content-addressed, so two stores produced by
+// disjoint shards of the same grid merge by copying files — identical
+// names either carry identical bytes (the same cell computed twice) or
+// expose a real problem (a fingerprint collision or nondeterministic
+// cell, which Merge refuses to paper over). Coverage diffs a grid
+// manifest against the cells actually on disk, answering "how much of
+// this sweep is done here".
+
+package resultstore
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// MergeStats summarizes one Store.Merge call. Merge traffic is kept
+// out of the hit/miss/write Stats counters: those answer "how many
+// cells were reused vs recomputed", while a merge moves cells in bulk.
+type MergeStats struct {
+	// CellsCopied counts cells new to the destination.
+	CellsCopied int
+	// CellsIdentical counts cells already present with identical bytes.
+	CellsIdentical int
+	// Manifests counts manifests copied or updated (shard-record union).
+	Manifests int
+	// Skipped counts source files Merge did not propagate: temp files,
+	// legacy or stale-schema entries, corrupt cells, foreign files.
+	Skipped int
+}
+
+func (m MergeStats) String() string {
+	return fmt.Sprintf("%d cells copied, %d identical, %d manifests, %d skipped",
+		m.CellsCopied, m.CellsIdentical, m.Manifests, m.Skipped)
+}
+
+// Merge copies src's cells and manifests into s. Valid current-schema
+// cells are copied by content address: absent in s → copied, present
+// with identical bytes → skipped, present with differing bytes → the
+// valid entry wins if exactly one side is corrupt, and otherwise Merge
+// fails loudly — same fingerprint with two different valid payloads
+// means a hash collision or a nondeterministic cell, and silently
+// picking a side would make reports depend on merge order. Manifests
+// whose schedules agree are unioned (shard provenance accumulates);
+// schedules that disagree are an error, because the shards were not
+// runs of the same grid. Stale-schema, corrupt and foreign source
+// files are skipped, never copied.
+func (s *Store) Merge(src *Store) (MergeStats, error) {
+	var st MergeStats
+	if s == nil || src == nil {
+		return st, fmt.Errorf("resultstore: Merge needs both a destination and a source store")
+	}
+	if sameDir(s.dir, src.dir) {
+		return st, nil // merging a store into itself is a no-op
+	}
+	entries, err := os.ReadDir(src.dir)
+	if err != nil {
+		return st, fmt.Errorf("resultstore: %w", err)
+	}
+	for _, ent := range entries {
+		if ent.IsDir() {
+			continue
+		}
+		name := ent.Name()
+		if !storeFilePattern.MatchString(name) || (!strings.HasPrefix(name, "c-") && !strings.HasPrefix(name, "m-")) {
+			st.Skipped++ // temp files, legacy blobs, foreign files
+			continue
+		}
+		srcBytes, err := os.ReadFile(filepath.Join(src.dir, name))
+		if err != nil {
+			return st, fmt.Errorf("resultstore: merge read %s: %w", name, err)
+		}
+		if strings.HasPrefix(name, "m-") {
+			written, valid, err := s.mergeManifest(srcBytes)
+			if err != nil {
+				return st, err
+			}
+			if !valid {
+				st.Skipped++
+			}
+			st.Manifests += written
+			continue
+		}
+		ok, err := s.mergeCell(name, srcBytes, &st)
+		if err != nil {
+			return st, err
+		}
+		if !ok {
+			st.Skipped++
+		}
+	}
+	return st, nil
+}
+
+// mergeCell merges one "c-<fp>.json" source cell; reports false when
+// the source entry was invalid and skipped.
+func (s *Store) mergeCell(name string, srcBytes []byte, st *MergeStats) (bool, error) {
+	fp, _ := cellFingerprint(name)
+	if !validCellBytes(srcBytes, fp) {
+		return false, nil
+	}
+	dstPath := filepath.Join(s.dir, name)
+	dstBytes, err := os.ReadFile(dstPath)
+	switch {
+	case os.IsNotExist(err):
+		// Absent in the destination: copy.
+		if werr := s.writeAtomic(dstPath, srcBytes); werr != nil {
+			return false, werr
+		}
+		st.CellsCopied++
+	case err != nil:
+		// A destination cell that exists but cannot be read right now
+		// (EACCES, EIO) might hold a different valid payload —
+		// overwriting would silently pick a side, the very thing the
+		// conflict check exists to prevent. Fail and let the caller
+		// retry once the store is readable.
+		return false, fmt.Errorf("resultstore: merge read destination %s: %w", name, err)
+	case bytes.Equal(dstBytes, srcBytes):
+		st.CellsIdentical++
+	case !validCellBytes(dstBytes, fp):
+		// The destination holds a torn or corrupt entry; the valid
+		// source replaces it exactly like a recompute would.
+		if werr := s.writeAtomic(dstPath, srcBytes); werr != nil {
+			return false, werr
+		}
+		st.CellsCopied++
+	default:
+		return false, fmt.Errorf(
+			"resultstore: merge conflict on cell %s: source and destination hold different valid payloads (fingerprint collision or nondeterministic cell)", fp)
+	}
+	return true, nil
+}
+
+// validCellBytes reports whether b is a current-schema cell envelope
+// whose key hashes to the expected fingerprint.
+func validCellBytes(b []byte, fp string) bool {
+	var env cellEnvelope
+	if json.Unmarshal(b, &env) != nil || env.Schema != SchemaVersion {
+		return false
+	}
+	return env.Key.Fingerprint() == fp
+}
+
+// mergeManifest merges one "m-<hash>.json" source manifest, returning
+// how many destination manifests were written (0 or 1) and whether the
+// source bytes were a valid current-schema manifest at all (invalid
+// ones are skipped, and the caller counts them as such).
+func (s *Store) mergeManifest(srcBytes []byte) (int, bool, error) {
+	var srcEnv manifestEnvelope
+	if json.Unmarshal(srcBytes, &srcEnv) != nil || srcEnv.Schema != SchemaVersion {
+		return 0, false, nil // stale or corrupt manifest: skip
+	}
+	sm := srcEnv.Manifest
+	old, ok := s.LoadManifest(sm.Grid, sm.Seed)
+	if !ok {
+		if err := s.SaveManifest(sm); err != nil {
+			return 0, true, err
+		}
+		return 1, true, nil
+	}
+	if !old.SameSchedule(sm) {
+		return 0, true, fmt.Errorf(
+			"resultstore: merge conflict on manifest for grid %q seed %d: schedules differ (the stores ran different grids)", sm.Grid, sm.Seed)
+	}
+	merged := old
+	merged.Shards = UnionShards(old.Shards, sm.Shards)
+	if len(merged.Shards) == len(old.Shards) {
+		return 0, true, nil // nothing new
+	}
+	if err := s.SaveManifest(merged); err != nil {
+		return 0, true, err
+	}
+	return 1, true, nil
+}
+
+// UnionShards merges two shard-record lists, deduplicated and sorted
+// (by count, then index) so the union is order-independent.
+func UnionShards(a, b []ShardRecord) []ShardRecord {
+	seen := map[ShardRecord]bool{}
+	var out []ShardRecord
+	for _, r := range append(append([]ShardRecord{}, a...), b...) {
+		if !seen[r] {
+			seen[r] = true
+			out = append(out, r)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count < out[j].Count
+		}
+		return out[i].Index < out[j].Index
+	})
+	return out
+}
+
+// sameDir reports whether two paths name the same directory.
+func sameDir(a, b string) bool {
+	ai, err1 := os.Stat(a)
+	bi, err2 := os.Stat(b)
+	if err1 == nil && err2 == nil {
+		return os.SameFile(ai, bi)
+	}
+	aa, err1 := filepath.Abs(a)
+	bb, err2 := filepath.Abs(b)
+	return err1 == nil && err2 == nil && aa == bb
+}
+
+// Coverage reports which of a manifest's cells are present in the
+// store as valid current-schema entries.
+type Coverage struct {
+	// Total is the manifest's cell count.
+	Total int
+	// Done is how many of them are on disk.
+	Done int
+	// Missing holds the row-major indices of the absent cells.
+	Missing []int
+}
+
+// Complete reports whether every cell is present.
+func (c Coverage) Complete() bool { return c.Done == c.Total }
+
+// Percent is the completion percentage (100 for an empty manifest).
+func (c Coverage) Percent() float64 {
+	if c.Total == 0 {
+		return 100
+	}
+	return float64(c.Done) / float64(c.Total) * 100
+}
+
+// Coverage diffs the manifest's cell schedule against the store's
+// on-disk cells. A cell counts as done when its file exists and parses
+// as a current-schema envelope — a torn write is as missing as no file
+// at all, since a resume run would recompute it. A nil store has
+// nothing, so every cell is missing.
+func (s *Store) Coverage(m Manifest) Coverage {
+	cov := Coverage{Total: len(m.Cells)}
+	for i, fp := range m.Cells {
+		if s != nil {
+			path := filepath.Join(s.dir, "c-"+fp+".json")
+			if ok, err := hasCurrentSchema(path); err == nil && ok {
+				cov.Done++
+				continue
+			}
+		}
+		cov.Missing = append(cov.Missing, i)
+	}
+	return cov
+}

@@ -1,0 +1,370 @@
+package resultstore
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// keyFor builds a distinct cell key per model name.
+func keyFor(model string) CellKey {
+	k := testKey()
+	k.Cell[0].Value = model
+	return k
+}
+
+// assertNoTmpFiles fails if any temp files leaked into dir.
+func assertNoTmpFiles(t *testing.T, dir string) {
+	t.Helper()
+	tmps, _ := filepath.Glob(filepath.Join(dir, "*.tmp"))
+	hidden, _ := filepath.Glob(filepath.Join(dir, ".*.tmp"))
+	if all := append(tmps, hidden...); len(all) != 0 {
+		t.Errorf("temp files leaked in %s: %v", dir, all)
+	}
+}
+
+func TestMergeCopiesAndSkipsIdentical(t *testing.T) {
+	dst, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// src: cells A, B. dst: B (same bytes, written identically), C.
+	for _, m := range []string{"a", "b"} {
+		if err := src.SaveCell(keyFor(m), testResult()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, m := range []string{"b", "c"} {
+		if err := dst.SaveCell(keyFor(m), testResult()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := dst.Merge(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.CellsCopied != 1 || st.CellsIdentical != 1 {
+		t.Errorf("merge stats = %+v, want 1 copied / 1 identical", st)
+	}
+	for _, m := range []string{"a", "b", "c"} {
+		if _, ok := dst.LoadCell(keyFor(m)); !ok {
+			t.Errorf("cell %q missing from merged store", m)
+		}
+	}
+	// Merge traffic must not pollute the hit/miss/write counters
+	// (the three LoadCell probes above account for the 3 hits).
+	if got := dst.Stats(); got.Writes != 2 || got.Hits != 3 {
+		t.Errorf("stats after merge = %+v, want only the original 2 writes and 3 probe hits", got)
+	}
+	assertNoTmpFiles(t, dst.Dir())
+	assertNoTmpFiles(t, src.Dir())
+}
+
+func TestMergeConflictingValidCellsError(t *testing.T) {
+	dst, _ := Open(t.TempDir())
+	src, _ := Open(t.TempDir())
+	k := testKey()
+	if err := dst.SaveCell(k, testResult()); err != nil {
+		t.Fatal(err)
+	}
+	other := testResult()
+	other.QAcc = 0.5 // same key, different valid payload: nondeterminism
+	if err := src.SaveCell(k, other); err != nil {
+		t.Fatal(err)
+	}
+	_, err := dst.Merge(src)
+	if err == nil {
+		t.Fatal("conflicting valid payloads must refuse to merge")
+	}
+	if !strings.Contains(err.Error(), k.Fingerprint()) {
+		t.Errorf("conflict error %q should name the cell fingerprint", err)
+	}
+	// The destination keeps its original payload.
+	if got, ok := dst.LoadCell(k); !ok || got.QAcc != testResult().QAcc {
+		t.Errorf("destination cell changed by failed merge: %+v", got)
+	}
+}
+
+func TestMergeValidBeatsCorrupt(t *testing.T) {
+	dst, _ := Open(t.TempDir())
+	src, _ := Open(t.TempDir())
+	k := testKey()
+
+	// dst holds a torn write; src holds the valid cell → overwrite.
+	if err := os.WriteFile(dst.CellPath(k), []byte(`{"schema":2,"torn`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := src.SaveCell(k, testResult()); err != nil {
+		t.Fatal(err)
+	}
+	st, err := dst.Merge(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.CellsCopied != 1 {
+		t.Errorf("valid source should replace corrupt destination: %+v", st)
+	}
+	if _, ok := dst.LoadCell(k); !ok {
+		t.Error("healed cell must load")
+	}
+
+	// The reverse: corrupt src must not clobber (or even join) a store.
+	dst2, _ := Open(t.TempDir())
+	src2, _ := Open(t.TempDir())
+	if err := dst2.SaveCell(k, testResult()); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(src2.CellPath(k), []byte(`{"schema":2,"torn`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	k2 := keyFor("only-corrupt")
+	if err := os.WriteFile(src2.CellPath(k2), []byte(`garbage`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st, err = dst2.Merge(src2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.CellsCopied != 0 || st.Skipped != 2 {
+		t.Errorf("corrupt source cells should be skipped: %+v", st)
+	}
+	if got, ok := dst2.LoadCell(k); !ok || got.QAcc != testResult().QAcc {
+		t.Errorf("corrupt source clobbered a valid destination cell: %+v", got)
+	}
+	if _, err := os.Stat(dst2.CellPath(k2)); !os.IsNotExist(err) {
+		t.Error("corrupt-only source cell must not be copied")
+	}
+}
+
+func TestMergeSkipsForeignAndStaleFiles(t *testing.T) {
+	dst, _ := Open(t.TempDir())
+	srcDir := t.TempDir()
+	src, _ := Open(srcDir)
+	// A schema-1 legacy blob, a stale-schema cell, a stale-schema
+	// manifest, a temp file, and a foreign file: none may cross into
+	// the destination, and each must be counted as skipped.
+	stale := map[string]string{
+		"deadbeefdeadbeefdeadbeefdeadbeef.json": `{"schema":1}`,
+		".cell-123.tmp":                         `partial`,
+		"notes.json":                            `{"mine":true}`,
+	}
+	k := testKey()
+	b, _ := json.Marshal(cellEnvelope{Schema: SchemaVersion - 1, Key: k, Result: testResult()})
+	stale["c-"+k.Fingerprint()+".json"] = string(b)
+	mb, _ := json.Marshal(manifestEnvelope{Schema: SchemaVersion - 1, Manifest: testManifest()})
+	stale[filepath.Base(src.ManifestPath("table2-sweep", 0))] = string(mb)
+	for name, content := range stale {
+		if err := os.WriteFile(filepath.Join(srcDir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := dst.Merge(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.CellsCopied != 0 || st.Manifests != 0 || st.Skipped != len(stale) {
+		t.Errorf("merge stats = %+v, want everything skipped (%d files)", st, len(stale))
+	}
+	ents, _ := os.ReadDir(dst.Dir())
+	if len(ents) != 0 {
+		t.Errorf("destination should stay empty, has %v", ents)
+	}
+}
+
+func TestMergeManifestUnionsShards(t *testing.T) {
+	dst, _ := Open(t.TempDir())
+	src, _ := Open(t.TempDir())
+	m := testManifest()
+	m.Shards = []ShardRecord{{Index: 0, Count: 3}}
+	if err := dst.SaveManifest(m); err != nil {
+		t.Fatal(err)
+	}
+	m2 := testManifest()
+	m2.Shards = []ShardRecord{{Index: 2, Count: 3}, {Index: 0, Count: 3}}
+	if err := src.SaveManifest(m2); err != nil {
+		t.Fatal(err)
+	}
+	st, err := dst.Merge(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Manifests != 1 {
+		t.Errorf("merge stats = %+v, want 1 manifest updated", st)
+	}
+	got, ok := dst.LoadManifest(m.Grid, m.Seed)
+	if !ok {
+		t.Fatal("merged manifest must load")
+	}
+	want := []ShardRecord{{Index: 0, Count: 3}, {Index: 2, Count: 3}}
+	if len(got.Shards) != 2 || got.Shards[0] != want[0] || got.Shards[1] != want[1] {
+		t.Errorf("merged shards = %+v, want %+v", got.Shards, want)
+	}
+	// A manifest absent from the destination is copied wholesale.
+	dst2, _ := Open(t.TempDir())
+	st, err = dst2.Merge(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Manifests != 1 {
+		t.Errorf("fresh destination merge stats = %+v, want 1 manifest copied", st)
+	}
+	if _, ok := dst2.LoadManifest(m.Grid, m.Seed); !ok {
+		t.Error("copied manifest must load")
+	}
+	// Re-merging the identical manifest is a no-op.
+	st, err = dst2.Merge(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Manifests != 0 {
+		t.Errorf("idempotent re-merge stats = %+v, want 0 manifests", st)
+	}
+}
+
+func TestMergeManifestScheduleConflictErrors(t *testing.T) {
+	dst, _ := Open(t.TempDir())
+	src, _ := Open(t.TempDir())
+	if err := dst.SaveManifest(testManifest()); err != nil {
+		t.Fatal(err)
+	}
+	other := testManifest()
+	other.Cells = []string{"00000000000000000000000000000000"}
+	if err := src.SaveManifest(other); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dst.Merge(src); err == nil || !strings.Contains(err.Error(), "schedules differ") {
+		t.Errorf("differing schedules must refuse to merge, got %v", err)
+	}
+}
+
+func TestMergeSelfAndNil(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := Open(dir)
+	if err := s.SaveCell(testKey(), testResult()); err != nil {
+		t.Fatal(err)
+	}
+	same, _ := Open(dir)
+	st, err := s.Merge(same)
+	if err != nil || st != (MergeStats{}) {
+		t.Errorf("self-merge = %+v, %v; want no-op", st, err)
+	}
+	if _, err := s.Merge(nil); err == nil {
+		t.Error("nil source must error")
+	}
+	var nilStore *Store
+	if _, err := nilStore.Merge(s); err == nil {
+		t.Error("nil destination must error")
+	}
+}
+
+// TestPruneKeepsManifestReferencedCells is the merge/prune
+// interaction: an age-bounded prune after a merge must never drop
+// cells a live manifest references (a merged store's files carry
+// whatever mtime the copy gave them), while unreferenced cells still
+// age out and manifests themselves are never age-pruned.
+func TestPruneKeepsManifestReferencedCells(t *testing.T) {
+	// Build a "shard" store with one referenced cell + manifest, and an
+	// unreferenced cell, then merge it into a fresh store.
+	src, _ := Open(t.TempDir())
+	ref := testKey()
+	if err := src.SaveCell(ref, testResult()); err != nil {
+		t.Fatal(err)
+	}
+	if err := src.SaveManifest(testManifest()); err != nil { // references ref only
+		t.Fatal(err)
+	}
+	loose := keyFor("unreferenced")
+	if err := src.SaveCell(loose, testResult()); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	dst, _ := Open(dir)
+	if _, err := dst.Merge(src); err != nil {
+		t.Fatal(err)
+	}
+	assertNoTmpFiles(t, dir)
+
+	// Age every merged file past the prune horizon.
+	old := time.Now().Add(-3 * time.Hour)
+	ents, _ := os.ReadDir(dir)
+	for _, e := range ents {
+		if err := os.Chtimes(filepath.Join(dir, e.Name()), old, old); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n, err := dst.Prune(time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Errorf("Prune removed %d files, want 1 (the unreferenced cell only)", n)
+	}
+	if _, ok := dst.LoadCell(ref); !ok {
+		t.Error("manifest-referenced cell must survive an age-bounded prune")
+	}
+	if _, ok := dst.LoadCell(loose); ok {
+		t.Error("unreferenced aged cell should be pruned")
+	}
+	if _, ok := dst.LoadManifest("table2-sweep", 0); !ok {
+		t.Error("manifests must never age out")
+	}
+	assertNoTmpFiles(t, dir)
+}
+
+func TestCoverageCountsValidCells(t *testing.T) {
+	s, _ := Open(t.TempDir())
+	m := testManifest()
+	// Empty store: everything missing.
+	cov := s.Coverage(m)
+	if cov.Done != 0 || len(cov.Missing) != 1 || cov.Complete() {
+		t.Errorf("empty-store coverage = %+v", cov)
+	}
+	if err := s.SaveCell(testKey(), testResult()); err != nil {
+		t.Fatal(err)
+	}
+	cov = s.Coverage(m)
+	if !cov.Complete() || cov.Percent() != 100 {
+		t.Errorf("full-store coverage = %+v, want complete", cov)
+	}
+	// A torn cell is as missing as no cell: a resume would recompute it.
+	if err := os.WriteFile(s.CellPath(testKey()), []byte(`{"sch`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cov = s.Coverage(m)
+	if cov.Done != 0 {
+		t.Errorf("corrupt-cell coverage = %+v, want missing", cov)
+	}
+	// Empty manifest is trivially complete; nil store has nothing.
+	if cov := s.Coverage(Manifest{}); !cov.Complete() || cov.Percent() != 100 {
+		t.Errorf("empty-manifest coverage = %+v", cov)
+	}
+	var nilStore *Store
+	if cov := nilStore.Coverage(m); cov.Done != 0 || len(cov.Missing) != 1 {
+		t.Errorf("nil-store coverage = %+v, want all missing", cov)
+	}
+}
+
+func TestUnionShards(t *testing.T) {
+	a := []ShardRecord{{Index: 1, Count: 3}, {Index: 0, Count: 2}}
+	b := []ShardRecord{{Index: 0, Count: 3}, {Index: 1, Count: 3}}
+	got := UnionShards(a, b)
+	want := []ShardRecord{{Index: 0, Count: 2}, {Index: 0, Count: 3}, {Index: 1, Count: 3}}
+	if len(got) != len(want) {
+		t.Fatalf("UnionShards = %+v, want %+v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("UnionShards = %+v, want %+v (sorted, deduped)", got, want)
+		}
+	}
+	if UnionShards(nil, nil) != nil {
+		t.Error("union of nothing should be nil")
+	}
+}

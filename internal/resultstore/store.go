@@ -73,6 +73,27 @@ type Manifest struct {
 	Axes   []ManifestAxis `json:"axes"`
 	// Cells are the row-major cell fingerprints of the full grid.
 	Cells []string `json:"cells"`
+	// Shards records which shard plans have contributed cells to this
+	// store — provenance for distributed sweeps. It is not part of the
+	// schedule: Merge unions it across stores whose schedules agree.
+	Shards []ShardRecord `json:"shards,omitempty"`
+}
+
+// ShardRecord identifies one slice of a sharded grid run: the 0-based
+// shard index out of a count of disjoint shards.
+type ShardRecord struct {
+	Index int `json:"index"`
+	Count int `json:"count"`
+}
+
+// SameSchedule reports whether two manifests declare the identical cell
+// schedule (everything except the Shards provenance).
+func (m Manifest) SameSchedule(o Manifest) bool {
+	a, b := m, o
+	a.Shards, b.Shards = nil, nil
+	ab, _ := json.Marshal(a)
+	bb, _ := json.Marshal(b)
+	return string(ab) == string(bb)
 }
 
 // ManifestAxis is one declared grid dimension.
@@ -251,9 +272,14 @@ var storeFilePattern = regexp.MustCompile(`^(c-|m-)?[0-9a-f]{32}\.json$`)
 // Prune removes stale store entries: abandoned temp files (older than
 // tmpGrace), store-named files that fail to parse, and entries from
 // other schema versions (including the pre-cell whole-grid blobs of
-// schema 1). With maxAge > 0 it also removes current-schema entries
-// whose file is older than maxAge. Returns the number of files
-// removed. Files the store did not name are left alone.
+// schema 1). With maxAge > 0 it also removes current-schema cells
+// whose file is older than maxAge — except cells referenced by a live
+// (current-schema) manifest, which a merged store may have received
+// with an arbitrary mtime and which a resume or coverage check still
+// expects to find. Manifests themselves never age out: they are tiny
+// and carry the schedule that gives the cells meaning. Returns the
+// number of files removed. Files the store did not name are left
+// alone.
 func (s *Store) Prune(maxAge time.Duration) (int, error) {
 	if s == nil {
 		return 0, nil
@@ -263,8 +289,10 @@ func (s *Store) Prune(maxAge time.Duration) (int, error) {
 		return 0, fmt.Errorf("resultstore: %w", err)
 	}
 	var cutoff time.Time
+	var referenced map[string]bool
 	if maxAge > 0 {
 		cutoff = time.Now().Add(-maxAge)
+		referenced = s.manifestRefs(entries)
 	}
 	removed := 0
 	var firstErr error
@@ -288,7 +316,10 @@ func (s *Store) Prune(maxAge time.Duration) (int, error) {
 				continue
 			}
 			if current {
-				if cutoff.IsZero() {
+				if cutoff.IsZero() || strings.HasPrefix(name, "m-") {
+					continue
+				}
+				if fp, ok := cellFingerprint(name); ok && referenced[fp] {
 					continue
 				}
 				info, err := ent.Info()
@@ -308,6 +339,39 @@ func (s *Store) Prune(maxAge time.Duration) (int, error) {
 		removed++
 	}
 	return removed, firstErr
+}
+
+// cellFingerprint extracts the content address from a "c-<hex32>.json"
+// cell file name.
+func cellFingerprint(name string) (string, bool) {
+	if !strings.HasPrefix(name, "c-") || !strings.HasSuffix(name, ".json") {
+		return "", false
+	}
+	return strings.TrimSuffix(strings.TrimPrefix(name, "c-"), ".json"), true
+}
+
+// manifestRefs returns the set of cell fingerprints referenced by the
+// store's live (current-schema) manifests.
+func (s *Store) manifestRefs(entries []os.DirEntry) map[string]bool {
+	refs := map[string]bool{}
+	for _, ent := range entries {
+		name := ent.Name()
+		if ent.IsDir() || !strings.HasPrefix(name, "m-") || !storeFilePattern.MatchString(name) {
+			continue
+		}
+		b, err := os.ReadFile(filepath.Join(s.dir, name))
+		if err != nil {
+			continue
+		}
+		var env manifestEnvelope
+		if json.Unmarshal(b, &env) != nil || env.Schema != SchemaVersion {
+			continue
+		}
+		for _, fp := range env.Manifest.Cells {
+			refs[fp] = true
+		}
+	}
+	return refs
 }
 
 // hasCurrentSchema reports whether the file parses as a JSON envelope
