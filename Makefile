@@ -1,11 +1,13 @@
 GO ?= go
 
 # Minimum combined statement coverage (%) for internal/harness +
-# internal/resultstore. 71.2% was measured when the sharding subsystem
-# landed (PR 4); cover-check fails CI if it regresses below this.
+# internal/resultstore + internal/tensor/kernels. 71.2% was measured
+# when the sharding subsystem landed (PR 4); the kernels package joined
+# the floor in PR 5 without lowering it. cover-check fails CI if the
+# combined figure regresses below this.
 COVER_FLOOR ?= 71.0
 
-.PHONY: all build vet fmt fmt-check test bench smoke shard-smoke fuzz cover-check ci
+.PHONY: all build vet fmt fmt-check test bench bench-json bench-kernels smoke shard-smoke fuzz cover-check ci
 
 all: build
 
@@ -30,6 +32,34 @@ test:
 
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x ./...
+
+# The kernel-layer micro-benchmarks (blocked GEMM vs the naive loop,
+# im2col conv vs the direct loop, 4-lane batch encode vs per-element
+# calls). One fast iteration set; used as the CI smoke step.
+KERNEL_BENCH = BenchmarkMatmulT|BenchmarkMatmulTNaive|BenchmarkConv2dIm2col|BenchmarkConv2dDirect|BenchmarkBatchMatMul|BenchmarkBatchEncode
+bench-kernels:
+	$(GO) test -run xxx -bench '$(KERNEL_BENCH)' -benchtime 1x \
+		./internal/tensor/kernels ./internal/nn ./internal/fp8
+
+# Writes BENCH_kernels.json: ns/op and MB/s for every kernel
+# micro-benchmark, so the perf trajectory is tracked across PRs.
+# BENCHTIME trades precision for runtime (the checked-in file was
+# produced with the default).
+BENCHTIME ?= 300ms
+bench-json:
+	@set -e; out=$$(mktemp); trap 'rm -f "$$out"' EXIT; \
+	$(GO) test -run xxx -bench '$(KERNEL_BENCH)' -benchtime $(BENCHTIME) \
+		./internal/tensor/kernels ./internal/nn ./internal/fp8 > "$$out" || \
+		{ cat "$$out"; echo "bench-json: benchmark run failed"; exit 1; }; \
+	awk 'BEGIN { print "[" } \
+		/^Benchmark/ { \
+			name = $$1; sub(/-[0-9]+$$/, "", name); \
+			mbs = "null"; \
+			if ($$6 == "MB/s") mbs = $$5; \
+			if (n++) printf ",\n"; \
+			printf "  {\"name\": \"%s\", \"ns_per_op\": %s, \"mb_per_s\": %s}", name, $$3, mbs } \
+		END { print "\n]" }' "$$out" > BENCH_kernels.json; \
+	cat BENCH_kernels.json
 
 # Warm-cache smoke: run table3 twice against a fresh store; the second
 # run must report 0 misses and print a byte-identical report (the
@@ -81,12 +111,12 @@ fuzz:
 cover-check:
 	$(GO) test -coverprofile=coverage.out ./...
 	@awk -v floor=$(COVER_FLOOR) -F'[ ]' ' \
-		NR > 1 && $$1 ~ /^fp8quant\/internal\/(harness|resultstore)\//{ \
+		NR > 1 && $$1 ~ /^fp8quant\/internal\/(harness|resultstore|tensor\/kernels)\//{ \
 			total += $$2; if ($$3 > 0) covered += $$2 } \
 		END { \
 			if (total == 0) { print "cover-check: no statements matched"; exit 1 } \
 			pct = 100 * covered / total; \
-			printf "harness+resultstore combined coverage: %.1f%% (floor %.1f%%)\n", pct, floor; \
+			printf "harness+resultstore+kernels combined coverage: %.1f%% (floor %.1f%%)\n", pct, floor; \
 			exit (pct < floor) }' coverage.out
 
 ci: build vet fmt-check test

@@ -32,6 +32,15 @@
 // grid's manifest against the merged store to show what is still
 // missing. A warm run against the merged store then renders the full
 // report, byte-identical to an unsharded run.
+//
+// All model forward math runs on the blocked compute kernels in
+// internal/tensor/kernels (packed-panel GEMM behind Linear, im2col
+// Conv2d and the attention matmuls, plus the 4-lane batch FP8
+// encode). The kernels are bit-identical to the scalar reference
+// loops for any worker count, so reports — and the content addresses
+// the store and -merge rely on — are unchanged from the pre-kernel
+// code, just several times faster to compute cold (`make bench-json`
+// tracks the kernel trajectory in BENCH_kernels.json).
 package main
 
 import (

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"fp8quant/internal/tensor"
+	"fp8quant/internal/tensor/kernels"
 )
 
 // Conv2d is a 2-D convolution over NCHW tensors with optional grouping
@@ -56,6 +57,12 @@ func (c *Conv2d) OutSize(n int) int {
 }
 
 // Forward convolves x [N, InC, H, W] producing [N, OutC, H', W'].
+// Output pixels whose window lies fully inside the input go through an
+// im2col gather + blocked GEMM (kernels.GemmT); the padded border ring
+// keeps the direct skip-on-pad loop. Both paths accumulate products in
+// the same (ic, ky, kx) order from a bias-seeded accumulator, so the
+// result is bit-identical to the all-direct reference (forwardDirect),
+// which the differential tests pin it against.
 func (c *Conv2d) Forward(x *tensor.Tensor) *tensor.Tensor {
 	if x.Rank() != 4 || x.Shape[1] != c.InC {
 		panic(fmt.Sprintf("nn: Conv2d expects [N,%d,H,W], got %v", c.InC, x.Shape))
@@ -67,7 +74,180 @@ func (c *Conv2d) Forward(x *tensor.Tensor) *tensor.Tensor {
 		panic(fmt.Sprintf("nn: Conv2d output empty for input %v", x.Shape))
 	}
 	y := tensor.New(n, c.OutC, oh, ow)
-	icg := c.InC / c.Groups // input channels per group
+	c.forwardInto(y, x, n, h, w, oh, ow)
+	return c.QS.applyOut(y)
+}
+
+// interior returns the output rows/cols [y0,y1)×[x0,x1) whose K×K
+// window is fully inside the input (no padding touched). With Pad == 0
+// that is the whole output.
+func (c *Conv2d) interior(h, w, oh, ow int) (y0, y1, x0, x1 int) {
+	y0 = (c.Pad + c.Stride - 1) / c.Stride
+	x0 = y0
+	y1 = (h-c.K+c.Pad)/c.Stride + 1
+	x1 = (w-c.K+c.Pad)/c.Stride + 1
+	if y1 > oh {
+		y1 = oh
+	}
+	if x1 > ow {
+		x1 = ow
+	}
+	if y1 < y0 {
+		y1 = y0
+	}
+	if x1 < x0 {
+		x1 = x0
+	}
+	return
+}
+
+// forwardInto dispatches between the im2col+GEMM interior and the
+// direct border path.
+func (c *Conv2d) forwardInto(y, x *tensor.Tensor, n, h, w, oh, ow int) {
+	y0, y1, x0, x1 := c.interior(h, w, oh, ow)
+	npix := (y1 - y0) * (x1 - x0)
+	icg := c.InC / c.Groups
+	ocg := c.OutC / c.Groups
+	kdim := icg * c.K * c.K
+	// Degenerate GEMMs (depthwise: ocg=1, kdim=K²) spend more on the
+	// gather/pack/scatter round trip than the multiply; the direct loop
+	// wins there. Both paths are bit-identical, so this is purely a
+	// performance dispatch.
+	if npix == 0 || ocg*kdim < 64 {
+		c.forwardDirect(y, x, n, h, w, oh, ow)
+		return
+	}
+
+	patches := kernels.GetScratch(npix * kdim)
+	scratch := kernels.GetScratch(npix * ocg)
+	defer kernels.PutScratch(patches)
+	defer kernels.PutScratch(scratch)
+
+	for g := 0; g < c.Groups; g++ {
+		var bias []float32
+		if c.B != nil {
+			bias = c.B[g*ocg : (g+1)*ocg]
+		}
+		// Pack the group's weight panel once and reuse it across the
+		// batch; the per-sample GEMM runs against the packed form.
+		wg := c.W.Data[g*ocg*kdim : (g+1)*ocg*kdim]
+		panel := kernels.PackT(wg, kdim, ocg)
+		for ni := 0; ni < n; ni++ {
+			c.im2col(*patches, x, ni, g, h, w, y0, y1, x0, x1)
+			// Prologue bias: the accumulator starts at the bias, exactly
+			// like the direct loop's acc := bias.
+			kernels.GemmPacked(*scratch, *patches, *panel, npix, kdim, ocg, kernels.Opt{Bias: bias, Prologue: true})
+			c.scatter(y, *scratch, ni, g, oh, ow, y0, y1, x0, x1)
+		}
+		kernels.PutScratch(panel)
+	}
+	if y1-y0 < oh || x1-x0 < ow {
+		c.forwardBorder(y, x, n, h, w, oh, ow, y0, y1, x0, x1)
+	}
+}
+
+// im2col gathers the interior patches of sample ni, group g into dst
+// as a row-major [npix, icg*K*K] matrix. The patch element order is
+// (ic, ky, kx) — the direct loop's accumulation order — and every
+// element is a genuine input read (no zero padding), so the GEMM
+// reduction replays the direct loop exactly.
+func (c *Conv2d) im2col(dst []float32, x *tensor.Tensor, ni, g, h, w, y0, y1, x0, x1 int) {
+	icg := c.InC / c.Groups
+	k := c.K
+	kdim := icg * k * k
+	idx := 0
+	for oy := y0; oy < y1; oy++ {
+		iy0 := oy*c.Stride - c.Pad
+		for ox := x0; ox < x1; ox++ {
+			ix0 := ox*c.Stride - c.Pad
+			p := dst[idx*kdim : (idx+1)*kdim]
+			pi := 0
+			for ic := 0; ic < icg; ic++ {
+				base := ((ni*c.InC+g*icg+ic)*h + iy0) * w
+				for ky := 0; ky < k; ky++ {
+					row := x.Data[base+ky*w+ix0 : base+ky*w+ix0+k]
+					copy(p[pi:pi+k], row)
+					pi += k
+				}
+			}
+			idx++
+		}
+	}
+}
+
+// scatter copies the GEMM output (row-major [npix, ocg]) into the
+// interior rectangle of y's channel planes.
+func (c *Conv2d) scatter(y *tensor.Tensor, src []float32, ni, g, oh, ow, y0, y1, x0, x1 int) {
+	ocg := c.OutC / c.Groups
+	cols := x1 - x0
+	for oc := 0; oc < ocg; oc++ {
+		plane := y.Data[(ni*c.OutC+g*ocg+oc)*oh*ow:]
+		for oy := y0; oy < y1; oy++ {
+			row := plane[oy*ow+x0 : oy*ow+x1]
+			base := ((oy-y0)*cols)*ocg + oc
+			for j := range row {
+				row[j] = src[base+j*ocg]
+			}
+		}
+	}
+}
+
+// forwardBorder runs the direct loop over every output pixel outside
+// the interior rectangle (the ring that touches padding).
+func (c *Conv2d) forwardBorder(y, x *tensor.Tensor, n, h, w, oh, ow, y0, y1, x0, x1 int) {
+	icg := c.InC / c.Groups
+	ocg := c.OutC / c.Groups
+	for ni := 0; ni < n; ni++ {
+		for oc := 0; oc < c.OutC; oc++ {
+			g := oc / ocg
+			var bias float32
+			if c.B != nil {
+				bias = c.B[oc]
+			}
+			for oy := 0; oy < oh; oy++ {
+				inY := oy >= y0 && oy < y1
+				for ox := 0; ox < ow; ox++ {
+					if inY && ox >= x0 && ox < x1 {
+						ox = x1 - 1 // skip the interior span
+						continue
+					}
+					y.Data[((ni*c.OutC+oc)*oh+oy)*ow+ox] =
+						c.convPixel(x, ni, oc, g, icg, h, w, oy, ox, bias)
+				}
+			}
+		}
+	}
+}
+
+// convPixel is the direct skip-on-pad accumulation for one output
+// element — the shared reference order for both forward paths.
+func (c *Conv2d) convPixel(x *tensor.Tensor, ni, oc, g, icg, h, w, oy, ox int, bias float32) float32 {
+	acc := bias
+	for ic := 0; ic < icg; ic++ {
+		inC := g*icg + ic
+		for ky := 0; ky < c.K; ky++ {
+			iy := oy*c.Stride - c.Pad + ky
+			if iy < 0 || iy >= h {
+				continue
+			}
+			xRow := x.Data[((ni*c.InC+inC)*h+iy)*w:]
+			wRow := c.W.Data[((oc*icg+ic)*c.K+ky)*c.K:]
+			for kx := 0; kx < c.K; kx++ {
+				ix := ox*c.Stride - c.Pad + kx
+				if ix < 0 || ix >= w {
+					continue
+				}
+				acc += xRow[ix] * wRow[kx]
+			}
+		}
+	}
+	return acc
+}
+
+// forwardDirect is the original 7-deep direct convolution, kept as the
+// differential-test oracle for the im2col path.
+func (c *Conv2d) forwardDirect(y, x *tensor.Tensor, n, h, w, oh, ow int) {
+	icg := c.InC / c.Groups
 	ocg := c.OutC / c.Groups
 	for ni := 0; ni < n; ni++ {
 		for oc := 0; oc < c.OutC; oc++ {
@@ -78,31 +258,12 @@ func (c *Conv2d) Forward(x *tensor.Tensor) *tensor.Tensor {
 			}
 			for oy := 0; oy < oh; oy++ {
 				for ox := 0; ox < ow; ox++ {
-					acc := bias
-					for ic := 0; ic < icg; ic++ {
-						inC := g*icg + ic
-						for ky := 0; ky < c.K; ky++ {
-							iy := oy*c.Stride - c.Pad + ky
-							if iy < 0 || iy >= h {
-								continue
-							}
-							xRow := x.Data[((ni*c.InC+inC)*h+iy)*w:]
-							wRow := c.W.Data[((oc*icg+ic)*c.K+ky)*c.K:]
-							for kx := 0; kx < c.K; kx++ {
-								ix := ox*c.Stride - c.Pad + kx
-								if ix < 0 || ix >= w {
-									continue
-								}
-								acc += xRow[ix] * wRow[kx]
-							}
-						}
-					}
-					y.Data[((ni*c.OutC+oc)*oh+oy)*ow+ox] = acc
+					y.Data[((ni*c.OutC+oc)*oh+oy)*ow+ox] =
+						c.convPixel(x, ni, oc, g, icg, h, w, oy, ox, bias)
 				}
 			}
 		}
 	}
-	return c.QS.applyOut(y)
 }
 
 // MaxPool2d takes the max over non-overlapping K×K windows.
@@ -139,31 +300,41 @@ func pool2d(x *tensor.Tensor, k, stride int, max bool) *tensor.Tensor {
 	oh := (h-k)/stride + 1
 	ow := (w-k)/stride + 1
 	y := tensor.New(n, c, oh, ow)
+	area := float32(k * k)
 	for ni := 0; ni < n; ni++ {
 		for ci := 0; ci < c; ci++ {
-			plane := x.Data[(ni*c+ci)*h*w:]
+			plane := x.Data[(ni*c+ci)*h*w : (ni*c+ci+1)*h*w]
+			out := y.Data[(ni*c+ci)*oh*ow : (ni*c+ci+1)*oh*ow]
 			for oy := 0; oy < oh; oy++ {
+				// One slice per window row: the inner loops walk k
+				// contiguous elements instead of recomputing the 4-D
+				// offset (two multiplies) per element. The reduction
+				// order over (ky, kx) is unchanged.
+				top := oy * stride * w
+				outRow := out[oy*ow : (oy+1)*ow]
 				for ox := 0; ox < ow; ox++ {
+					x0 := ox * stride
 					var acc float32
 					if max {
-						acc = plane[(oy*stride)*w+ox*stride]
-					}
-					for ky := 0; ky < k; ky++ {
-						for kx := 0; kx < k; kx++ {
-							v := plane[(oy*stride+ky)*w+(ox*stride+kx)]
-							if max {
+						acc = plane[top+x0]
+						for ky := 0; ky < k; ky++ {
+							row := plane[top+ky*w+x0 : top+ky*w+x0+k]
+							for _, v := range row {
 								if v > acc {
 									acc = v
 								}
-							} else {
+							}
+						}
+					} else {
+						for ky := 0; ky < k; ky++ {
+							row := plane[top+ky*w+x0 : top+ky*w+x0+k]
+							for _, v := range row {
 								acc += v
 							}
 						}
+						acc /= area
 					}
-					if !max {
-						acc /= float32(k * k)
-					}
-					y.Data[((ni*c+ci)*oh+oy)*ow+ox] = acc
+					outRow[ox] = acc
 				}
 			}
 		}

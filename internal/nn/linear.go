@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"fp8quant/internal/tensor"
+	"fp8quant/internal/tensor/kernels"
 )
 
 // Linear is a fully-connected layer: y = x·Wᵀ + b. The weight is stored
@@ -44,24 +45,22 @@ func (l *Linear) Forward(x *tensor.Tensor) *tensor.Tensor {
 		panic(fmt.Sprintf("nn: Linear expects last dim %d, got shape %v", l.In, x.Shape))
 	}
 	x = l.QS.applyIn(x)
-	outShape := append(append([]int(nil), x.Shape[:x.Rank()-1]...), l.Out)
+	outShape := make([]int, x.Rank())
+	copy(outShape, x.Shape[:x.Rank()-1])
+	outShape[x.Rank()-1] = l.Out
 	y := tensor.New(outShape...)
-	matmulT(y.Data, x.Data, l.W.Data, rows, l.In, l.Out)
-	if l.B != nil {
-		for r := 0; r < rows; r++ {
-			row := y.Data[r*l.Out : (r+1)*l.Out]
-			for j := range row {
-				row[j] += l.B[j]
-			}
-		}
-	}
+	// Bias rides in the GEMM epilogue: acc = Σ_k x·w, then acc += b —
+	// the same operation order as the old separate per-row pass.
+	kernels.GemmT(y.Data, x.Data, l.W.Data, rows, l.In, l.Out, kernels.Opt{Bias: l.B})
 	return l.QS.applyOut(y)
 }
 
 // matmulT computes y[r,o] = sum_k x[r,k] * w[o,k] for row-major
 // buffers: x is [rows, in], w is [out, in], y is [rows, out].
 // Accumulation is float32, matching typical FP8-with-FP32-accumulate
-// hardware behaviour emulated by the paper.
+// hardware behaviour emulated by the paper. It is the scalar oracle
+// the blocked kernels.GemmT path is pinned against by the
+// differential tests in kernels_diff_test.go.
 func matmulT(y, x, w []float32, rows, in, out int) {
 	for r := 0; r < rows; r++ {
 		xr := x[r*in : (r+1)*in]
@@ -156,31 +155,34 @@ func BatchMatMul(a, b *tensor.Tensor, transB bool) *tensor.Tensor {
 	}
 	outShape := append(append([]int(nil), a.Shape[:a.Rank()-2]...), M, N)
 	y := tensor.New(outShape...)
-	for bi := 0; bi < batch; bi++ {
-		am := a.Data[bi*M*K : (bi+1)*M*K]
-		bm := b.Data[bi*K*N : (bi+1)*K*N]
-		ym := y.Data[bi*M*N : (bi+1)*M*N]
-		if transB {
-			// bm is [N, K]
-			matmulT(ym, am, bm, M, K, N)
-		} else {
-			for i := 0; i < M; i++ {
-				ai := am[i*K : (i+1)*K]
-				yi := ym[i*N : (i+1)*N]
-				for j := range yi {
-					yi[j] = 0
-				}
-				for k := 0; k < K; k++ {
-					av := ai[k]
-					bk := bm[k*N : (k+1)*N]
-					for j := range yi {
-						yi[j] += av * bk[j]
-					}
-				}
-			}
-		}
+	// Both layouts route through the packed GEMM kernels; per output
+	// element the accumulation stays ascending-k, matching the old
+	// matmulT (transB) and k-outer (natural) loops bit for bit.
+	if batch == 1 {
+		batchMatMulOne(y.Data, a.Data, b.Data, M, K, N, transB, false)
+		return y
 	}
+	tensor.ParallelFor(batch, 1, func(lo, hi int) {
+		for bi := lo; bi < hi; bi++ {
+			am := a.Data[bi*M*K : (bi+1)*M*K]
+			bm := b.Data[bi*K*N : (bi+1)*K*N]
+			ym := y.Data[bi*M*N : (bi+1)*M*N]
+			batchMatMulOne(ym, am, bm, M, K, N, transB, true)
+		}
+	})
 	return y
+}
+
+// batchMatMulOne multiplies one batch element through the blocked
+// kernels; serial kernels are used when the batch loop itself is the
+// parallel axis.
+func batchMatMulOne(y, a, b []float32, M, K, N int, transB, serial bool) {
+	opt := kernels.Opt{Serial: serial}
+	if transB {
+		kernels.GemmT(y, a, b, M, K, N, opt)
+	} else {
+		kernels.GemmN(y, a, b, M, K, N, opt)
+	}
 }
 
 func bqSize(transB bool, k, n int) int { return k * n }

@@ -1,0 +1,265 @@
+// Package kernels holds the blocked compute kernels behind the nn
+// layer forward paths: a register-tiled, worker-pool-parallel GEMM for
+// y = x·Wᵀ (Linear, im2col convolution, attention BMMs) in both
+// transposed- and natural-B layouts.
+//
+// Bit-identity contract: for every output element y[r,o] the kernels
+// perform exactly the same float32 operation sequence as the naive
+// triple loop — one accumulator, products x[r,k]·b[k,o] added in
+// ascending k order, bias either seeding the accumulator (prologue,
+// convolution) or added once after the sum (epilogue, Linear). The
+// speedup comes only from parallelism across *independent* output
+// elements — a 4-row × 8-column register tile turns the serial FP-add
+// latency chain into 32 concurrent chains (SIMD lanes on amd64, ILP
+// elsewhere) — plus packed weight panels (contiguous loads, 4× less
+// weight traffic per row block) and hoisted bounds checks; a sum is
+// never reassociated, fused (FMA) or vectorized across k. Results are
+// therefore byte-identical to the scalar reference for any shape, any
+// worker count, and any chunking of the row range. (The one
+// unspecifiable corner is the payload of NaN·NaN products, which the
+// scalar Go expression does not pin down either.)
+package kernels
+
+import (
+	"sync"
+
+	"fp8quant/internal/tensor"
+)
+
+const (
+	// mr×nr is the register tile; nr is also the packed panel width.
+	mr = 4
+	nr = 8
+
+	// minParallelOps is the smallest number of multiply-adds handed to
+	// one worker; below it the goroutine handoff costs more than the
+	// arithmetic.
+	minParallelOps = 1 << 15
+)
+
+// Opt carries the optional parts of a GEMM call.
+type Opt struct {
+	// Bias, when non-nil, has length out and is folded into the kernel.
+	Bias []float32
+	// Prologue seeds each accumulator with Bias[o] before the k loop
+	// (convolution semantics: acc starts at the bias). When false the
+	// bias is added once after the sum (Linear semantics).
+	Prologue bool
+	// Serial skips the worker-pool fan-out; used by callers that are
+	// already running inside a parallel region (e.g. per-batch BMMs).
+	Serial bool
+}
+
+// panelPool recycles packed weight panels and other scratch buffers.
+var panelPool sync.Pool // *[]float32
+
+// GetScratch returns a float32 scratch buffer with at least n elements
+// from the shared pool. The contents are undefined.
+func GetScratch(n int) *[]float32 {
+	if p, ok := panelPool.Get().(*[]float32); ok {
+		if cap(*p) >= n {
+			*p = (*p)[:n]
+			return p
+		}
+	}
+	s := make([]float32, n)
+	return &s
+}
+
+// PutScratch returns a buffer obtained from GetScratch to the pool.
+func PutScratch(p *[]float32) { panelPool.Put(p) }
+
+// GemmT computes y[r,o] = Σ_k x[r,k]·w[o,k] (+ bias): x is row-major
+// [rows, in], w is row-major [out, in] (i.e. Bᵀ, the Linear weight
+// layout), y is row-major [rows, out].
+func GemmT(y, x, w []float32, rows, in, out int, opt Opt) {
+	if rows <= 0 || out <= 0 {
+		return
+	}
+	pp := PackT(w, in, out)
+	run(y, x, *pp, rows, in, out, opt)
+	PutScratch(pp)
+}
+
+// PackT packs w (row-major [out, in]) into the micro-panel layout the
+// microkernels consume, in a pooled buffer. Callers multiplying the
+// same weights against several row blocks (e.g. one panel per
+// convolution group reused across the batch) pack once and run
+// GemmPacked per block; return the buffer with PutScratch.
+func PackT(w []float32, in, out int) *[]float32 {
+	npan := (out + nr - 1) / nr
+	pp := GetScratch(npan * in * nr)
+	packT(*pp, w, in, out)
+	return pp
+}
+
+// GemmPacked is GemmT against a panel already packed by PackT.
+func GemmPacked(y, x, panel []float32, rows, in, out int, opt Opt) {
+	if rows <= 0 || out <= 0 {
+		return
+	}
+	run(y, x, panel, rows, in, out, opt)
+}
+
+// GemmN computes y[r,o] = Σ_k x[r,k]·b[k,o] (+ bias): b is row-major
+// [in, out] (the natural matmul layout).
+func GemmN(y, x, b []float32, rows, in, out int, opt Opt) {
+	if rows <= 0 || out <= 0 {
+		return
+	}
+	npan := (out + nr - 1) / nr
+	pp := GetScratch(npan * in * nr)
+	packN(*pp, b, in, out)
+	run(y, x, *pp, rows, in, out, opt)
+	PutScratch(pp)
+}
+
+// packT packs w (row-major [out, in]; rows are output columns) into
+// nr-wide micro panels: panel[pj*in*nr + k*nr + j] = w[(pj*nr+j)*in+k],
+// zero-filled for the out%nr tail so the microkernel can always read
+// nr lanes. The zero lanes are never stored to y, so their values are
+// irrelevant (even 0·Inf = NaN stays local to a dead lane).
+func packT(panel, w []float32, in, out int) {
+	npan := (out + nr - 1) / nr
+	for pj := 0; pj < npan; pj++ {
+		o0 := pj * nr
+		cols := out - o0
+		if cols > nr {
+			cols = nr
+		}
+		dst := panel[pj*in*nr : (pj+1)*in*nr]
+		for j := 0; j < cols; j++ {
+			src := w[(o0+j)*in : (o0+j+1)*in]
+			for k, v := range src {
+				dst[k*nr+j] = v
+			}
+		}
+		for j := cols; j < nr; j++ {
+			for k := 0; k < in; k++ {
+				dst[k*nr+j] = 0
+			}
+		}
+	}
+}
+
+// packN packs b (row-major [in, out]) into the same micro-panel layout
+// as packT: panel[pj*in*nr + k*nr + j] = b[k*out + pj*nr + j].
+func packN(panel, b []float32, in, out int) {
+	npan := (out + nr - 1) / nr
+	for pj := 0; pj < npan; pj++ {
+		o0 := pj * nr
+		cols := out - o0
+		if cols > nr {
+			cols = nr
+		}
+		dst := panel[pj*in*nr : (pj+1)*in*nr]
+		for k := 0; k < in; k++ {
+			src := b[k*out+o0 : k*out+o0+cols]
+			d := dst[k*nr : k*nr+nr]
+			for j, v := range src {
+				d[j] = v
+			}
+			for j := cols; j < nr; j++ {
+				d[j] = 0
+			}
+		}
+	}
+}
+
+// run drives the packed panels over the row range, fanning row blocks
+// out over the shared worker pool unless opt.Serial. Each row's output
+// is computed independently of where chunk boundaries fall, so any
+// worker count yields identical bytes.
+func run(y, x, panel []float32, rows, in, out int, opt Opt) {
+	if in == 0 {
+		// Empty reduction: y is the bias (or zero), per element.
+		for r := 0; r < rows; r++ {
+			yr := y[r*out : (r+1)*out]
+			for o := range yr {
+				if opt.Bias != nil {
+					yr[o] = opt.Bias[o]
+				} else {
+					yr[o] = 0
+				}
+			}
+		}
+		return
+	}
+	body := func(lo, hi int) {
+		for r := lo; r < hi; {
+			rb := hi - r
+			if rb > mr {
+				rb = mr
+			}
+			blockRows(y, x, panel, r, rb, in, out, opt)
+			r += rb
+		}
+	}
+	if opt.Serial {
+		body(0, rows)
+		return
+	}
+	grain := 1
+	if w := in * out; w < minParallelOps {
+		grain = (minParallelOps + w - 1) / w
+	}
+	tensor.ParallelFor(rows, grain, body)
+}
+
+// blockRows computes rb (≤ mr) consecutive output rows against every
+// packed panel while the x rows stay hot in cache.
+func blockRows(y, x, panel []float32, r, rb, in, out int, opt Opt) {
+	npan := (out + nr - 1) / nr
+	for pj := 0; pj < npan; pj++ {
+		o0 := pj * nr
+		cols := out - o0
+		if cols > nr {
+			cols = nr
+		}
+		p := panel[pj*in*nr : (pj+1)*in*nr]
+		if rb == mr {
+			var acc [mr * nr]float32
+			initAcc(acc[:], o0, cols, opt)
+			inner4x8(x[r*in:], p, in, &acc)
+			storeAcc(y, acc[:], r, mr, o0, cols, out, opt)
+		} else {
+			for i := 0; i < rb; i++ {
+				var acc [nr]float32
+				initAcc(acc[:nr], o0, cols, opt)
+				inner1x8(x[(r+i)*in:], p, in, &acc)
+				storeAcc(y, acc[:nr], r+i, 1, o0, cols, out, opt)
+			}
+		}
+	}
+}
+
+// initAcc seeds the accumulator tile: bias per column for prologue
+// mode, zero otherwise (padded lanes always start at zero harmlessly —
+// they are never stored).
+func initAcc(acc []float32, o0, cols int, opt Opt) {
+	if opt.Prologue && opt.Bias != nil {
+		for j := 0; j < cols; j++ {
+			b := opt.Bias[o0+j]
+			for r := 0; r < len(acc)/nr; r++ {
+				acc[r*nr+j] = b
+			}
+		}
+	}
+}
+
+// storeAcc applies the epilogue bias and writes the valid columns of
+// the accumulator tile to y.
+func storeAcc(y, acc []float32, r, rows, o0, cols, out int, opt Opt) {
+	epi := !opt.Prologue && opt.Bias != nil
+	for i := 0; i < rows; i++ {
+		a := acc[i*nr : i*nr+nr]
+		yr := y[(r+i)*out+o0 : (r+i)*out+o0+cols]
+		if epi {
+			for j := range yr {
+				yr[j] = a[j] + opt.Bias[o0+j]
+			}
+		} else {
+			copy(yr, a[:cols])
+		}
+	}
+}

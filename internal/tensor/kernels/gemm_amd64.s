@@ -1,0 +1,116 @@
+// SSE microkernels for the packed-panel GEMM. Plain MOVUPS loads,
+// MULPS then ADDPS per lane — the exact scalar mul/add sequence per
+// output element, eight elements per instruction pair. SSE1 only, so
+// every amd64 target Go supports runs this path.
+
+#include "textflag.h"
+
+// func gemm4x8SSE(x0, x1, x2, x3, p *float32, n int, acc *[32]float32)
+//
+// Register map: X0/X1 panel columns 0-3/4-7 for the current k;
+// X2/X3 broadcast+product scratch; X4..X11 the 4×8 accumulator tile
+// (X4=row0 cols0-3, X5=row0 cols4-7, X6=row1 lo, ... X11=row3 hi).
+TEXT ·gemm4x8SSE(SB), NOSPLIT, $0-56
+	MOVQ x0+0(FP), SI
+	MOVQ x1+8(FP), DI
+	MOVQ x2+16(FP), R8
+	MOVQ x3+24(FP), R9
+	MOVQ p+32(FP), DX
+	MOVQ n+40(FP), CX
+	MOVQ acc+48(FP), AX
+	MOVUPS 0(AX), X4
+	MOVUPS 16(AX), X5
+	MOVUPS 32(AX), X6
+	MOVUPS 48(AX), X7
+	MOVUPS 64(AX), X8
+	MOVUPS 80(AX), X9
+	MOVUPS 96(AX), X10
+	MOVUPS 112(AX), X11
+	TESTQ CX, CX
+	JLE done4
+
+loop4:
+	MOVUPS (DX), X0
+	MOVUPS 16(DX), X1
+
+	MOVSS (SI), X2
+	SHUFPS $0, X2, X2
+	MOVAPS X2, X3
+	MULPS X0, X2
+	ADDPS X2, X4
+	MULPS X1, X3
+	ADDPS X3, X5
+
+	MOVSS (DI), X2
+	SHUFPS $0, X2, X2
+	MOVAPS X2, X3
+	MULPS X0, X2
+	ADDPS X2, X6
+	MULPS X1, X3
+	ADDPS X3, X7
+
+	MOVSS (R8), X2
+	SHUFPS $0, X2, X2
+	MOVAPS X2, X3
+	MULPS X0, X2
+	ADDPS X2, X8
+	MULPS X1, X3
+	ADDPS X3, X9
+
+	MOVSS (R9), X2
+	SHUFPS $0, X2, X2
+	MOVAPS X2, X3
+	MULPS X0, X2
+	ADDPS X2, X10
+	MULPS X1, X3
+	ADDPS X3, X11
+
+	ADDQ $32, DX
+	ADDQ $4, SI
+	ADDQ $4, DI
+	ADDQ $4, R8
+	ADDQ $4, R9
+	DECQ CX
+	JNZ loop4
+
+done4:
+	MOVUPS X4, 0(AX)
+	MOVUPS X5, 16(AX)
+	MOVUPS X6, 32(AX)
+	MOVUPS X7, 48(AX)
+	MOVUPS X8, 64(AX)
+	MOVUPS X9, 80(AX)
+	MOVUPS X10, 96(AX)
+	MOVUPS X11, 112(AX)
+	RET
+
+// func gemm1x8SSE(x, p *float32, n int, acc *[8]float32)
+TEXT ·gemm1x8SSE(SB), NOSPLIT, $0-32
+	MOVQ x+0(FP), SI
+	MOVQ p+8(FP), DX
+	MOVQ n+16(FP), CX
+	MOVQ acc+24(FP), AX
+	MOVUPS 0(AX), X4
+	MOVUPS 16(AX), X5
+	TESTQ CX, CX
+	JLE done1
+
+loop1:
+	MOVUPS (DX), X0
+	MOVUPS 16(DX), X1
+	MOVSS (SI), X2
+	SHUFPS $0, X2, X2
+	MOVAPS X2, X3
+	MULPS X0, X2
+	ADDPS X2, X4
+	MULPS X1, X3
+	ADDPS X3, X5
+	ADDQ $32, DX
+	ADDQ $4, SI
+	DECQ CX
+	JNZ loop1
+
+done1:
+	MOVUPS X4, 0(AX)
+	MOVUPS X5, 16(AX)
+	RET

@@ -1,0 +1,67 @@
+//go:build !amd64
+
+package kernels
+
+// Portable inner kernels: the same 4×8 accumulator tile as the amd64
+// SSE path, expressed as 32 scalar chains the compiler keeps
+// independent. Bit-identical to the assembly by construction — each
+// chain is `acc += v*b` in ascending k order.
+
+func inner4x8(x, p []float32, in int, acc *[mr * nr]float32) {
+	x0 := x[:in:in]
+	x1 := x[in : 2*in : 2*in]
+	x2 := x[2*in : 3*in : 3*in]
+	x3 := x[3*in : 4*in : 4*in]
+	p = p[: in*nr : in*nr]
+	for h := 0; h < nr; h += 4 {
+		a00, a01, a02, a03 := acc[h], acc[h+1], acc[h+2], acc[h+3]
+		a10, a11, a12, a13 := acc[nr+h], acc[nr+h+1], acc[nr+h+2], acc[nr+h+3]
+		a20, a21, a22, a23 := acc[2*nr+h], acc[2*nr+h+1], acc[2*nr+h+2], acc[2*nr+h+3]
+		a30, a31, a32, a33 := acc[3*nr+h], acc[3*nr+h+1], acc[3*nr+h+2], acc[3*nr+h+3]
+		for k := 0; k < in; k++ {
+			pk := p[k*nr+h : k*nr+h+4 : k*nr+h+4]
+			b0, b1, b2, b3 := pk[0], pk[1], pk[2], pk[3]
+			v := x0[k]
+			a00 += v * b0
+			a01 += v * b1
+			a02 += v * b2
+			a03 += v * b3
+			v = x1[k]
+			a10 += v * b0
+			a11 += v * b1
+			a12 += v * b2
+			a13 += v * b3
+			v = x2[k]
+			a20 += v * b0
+			a21 += v * b1
+			a22 += v * b2
+			a23 += v * b3
+			v = x3[k]
+			a30 += v * b0
+			a31 += v * b1
+			a32 += v * b2
+			a33 += v * b3
+		}
+		acc[h], acc[h+1], acc[h+2], acc[h+3] = a00, a01, a02, a03
+		acc[nr+h], acc[nr+h+1], acc[nr+h+2], acc[nr+h+3] = a10, a11, a12, a13
+		acc[2*nr+h], acc[2*nr+h+1], acc[2*nr+h+2], acc[2*nr+h+3] = a20, a21, a22, a23
+		acc[3*nr+h], acc[3*nr+h+1], acc[3*nr+h+2], acc[3*nr+h+3] = a30, a31, a32, a33
+	}
+}
+
+func inner1x8(x, p []float32, in int, acc *[nr]float32) {
+	xr := x[:in:in]
+	p = p[: in*nr : in*nr]
+	for h := 0; h < nr; h += 4 {
+		a0, a1, a2, a3 := acc[h], acc[h+1], acc[h+2], acc[h+3]
+		for k := 0; k < in; k++ {
+			pk := p[k*nr+h : k*nr+h+4 : k*nr+h+4]
+			v := xr[k]
+			a0 += v * pk[0]
+			a1 += v * pk[1]
+			a2 += v * pk[2]
+			a3 += v * pk[3]
+		}
+		acc[h], acc[h+1], acc[h+2], acc[h+3] = a0, a1, a2, a3
+	}
+}

@@ -1,0 +1,249 @@
+package kernels
+
+import (
+	"math"
+	"runtime"
+	"testing"
+
+	"fp8quant/internal/tensor"
+)
+
+// gemmTRef is the scalar oracle for GemmT: the exact naive loop the
+// kernels must match bit for bit (single accumulator, ascending k).
+func gemmTRef(y, x, w []float32, rows, in, out int, opt Opt) {
+	for r := 0; r < rows; r++ {
+		for o := 0; o < out; o++ {
+			var acc float32
+			if opt.Prologue && opt.Bias != nil {
+				acc = opt.Bias[o]
+			}
+			for k := 0; k < in; k++ {
+				acc += x[r*in+k] * w[o*in+k]
+			}
+			if !opt.Prologue && opt.Bias != nil {
+				acc += opt.Bias[o]
+			}
+			y[r*out+o] = acc
+		}
+	}
+}
+
+// gemmNRef is the scalar oracle for GemmN (b row-major [in, out]).
+func gemmNRef(y, x, b []float32, rows, in, out int, opt Opt) {
+	for r := 0; r < rows; r++ {
+		for o := 0; o < out; o++ {
+			var acc float32
+			if opt.Prologue && opt.Bias != nil {
+				acc = opt.Bias[o]
+			}
+			for k := 0; k < in; k++ {
+				acc += x[r*in+k] * b[k*out+o]
+			}
+			if !opt.Prologue && opt.Bias != nil {
+				acc += opt.Bias[o]
+			}
+			y[r*out+o] = acc
+		}
+	}
+}
+
+// fillMixed populates dst with values spanning several binades plus
+// the occasional denormal-scale value so reassociated sums would not
+// survive the bit comparison.
+func fillMixed(dst []float32, rng *tensor.RNG) {
+	for i := range dst {
+		v := float32(rng.Norm())
+		switch i % 7 {
+		case 0:
+			v *= 1e4
+		case 3:
+			v *= 1e-6
+		case 5:
+			v *= 1e-38
+		}
+		dst[i] = v
+	}
+}
+
+func bitsEqual(a, b []float32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float32bits(a[i]) != math.Float32bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func firstDiff(t *testing.T, a, b []float32) {
+	t.Helper()
+	for i := range a {
+		if math.Float32bits(a[i]) != math.Float32bits(b[i]) {
+			t.Fatalf("first bit difference at %d: %x vs %x (%g vs %g)",
+				i, math.Float32bits(a[i]), math.Float32bits(b[i]), a[i], b[i])
+		}
+	}
+}
+
+// gemmShapes exercises odd rows/cols, tile remainders in both
+// dimensions, tiny and degenerate extents.
+var gemmShapes = []struct{ rows, in, out int }{
+	{1, 1, 1},
+	{1, 7, 1},
+	{3, 5, 2},
+	{4, 16, 4},
+	{5, 17, 9},
+	{7, 64, 31},
+	{8, 33, 12},
+	{13, 128, 65},
+	{16, 256, 256},
+	{2, 0, 3}, // empty reduction
+	{31, 3, 130},
+}
+
+func TestGemmTMatchesOracleBitExact(t *testing.T) {
+	rng := tensor.NewRNG(0x6E77)
+	for _, s := range gemmShapes {
+		x := make([]float32, s.rows*s.in)
+		w := make([]float32, s.out*s.in)
+		bias := make([]float32, s.out)
+		fillMixed(x, rng)
+		fillMixed(w, rng)
+		fillMixed(bias, rng)
+		for _, opt := range []Opt{
+			{},
+			{Bias: bias},
+			{Bias: bias, Prologue: true},
+			{Serial: true, Bias: bias},
+		} {
+			got := make([]float32, s.rows*s.out)
+			want := make([]float32, s.rows*s.out)
+			GemmT(got, x, w, s.rows, s.in, s.out, opt)
+			gemmTRef(want, x, w, s.rows, s.in, s.out, opt)
+			if !bitsEqual(got, want) {
+				t.Errorf("GemmT %dx%dx%d opt=%+v diverges from oracle", s.rows, s.in, s.out, opt)
+				firstDiff(t, got, want)
+			}
+		}
+	}
+}
+
+func TestGemmNMatchesOracleBitExact(t *testing.T) {
+	rng := tensor.NewRNG(0x6E78)
+	for _, s := range gemmShapes {
+		x := make([]float32, s.rows*s.in)
+		b := make([]float32, s.in*s.out)
+		bias := make([]float32, s.out)
+		fillMixed(x, rng)
+		fillMixed(b, rng)
+		fillMixed(bias, rng)
+		for _, opt := range []Opt{
+			{},
+			{Bias: bias},
+			{Bias: bias, Prologue: true},
+			{Serial: true},
+		} {
+			got := make([]float32, s.rows*s.out)
+			want := make([]float32, s.rows*s.out)
+			GemmN(got, x, b, s.rows, s.in, s.out, opt)
+			gemmNRef(want, x, b, s.rows, s.in, s.out, opt)
+			if !bitsEqual(got, want) {
+				t.Errorf("GemmN %dx%dx%d opt=%+v diverges from oracle", s.rows, s.in, s.out, opt)
+				firstDiff(t, got, want)
+			}
+		}
+	}
+}
+
+// TestGemmSpecialValues pins the kernels to the oracle when the inputs
+// contain Inf and NaN (quantized weights overflow to Inf in IEEE
+// formats), including around the zero-padded panel tail.
+func TestGemmSpecialValues(t *testing.T) {
+	rows, in, out := 5, 9, 6 // out%nr != 0 exercises the padded lanes
+	rng := tensor.NewRNG(0x1F)
+	x := make([]float32, rows*in)
+	w := make([]float32, out*in)
+	fillMixed(x, rng)
+	fillMixed(w, rng)
+	inf := float32(math.Inf(1))
+	nan := float32(math.NaN())
+	w[0], w[in+3] = inf, -inf
+	w[(out-1)*in+2] = nan
+	x[2*in+1] = inf
+	x[4*in+8] = nan
+	got := make([]float32, rows*out)
+	want := make([]float32, rows*out)
+	GemmT(got, x, w, rows, in, out, Opt{})
+	gemmTRef(want, x, w, rows, in, out, Opt{})
+	if !bitsEqual(got, want) {
+		firstDiff(t, got, want)
+	}
+}
+
+// TestGemmDeterministicAcrossWorkers proves any worker count (and so
+// any chunking of the row range) yields identical bytes.
+func TestGemmDeterministicAcrossWorkers(t *testing.T) {
+	rows, in, out := 37, 96, 53
+	rng := tensor.NewRNG(0xD0)
+	x := make([]float32, rows*in)
+	w := make([]float32, out*in)
+	fillMixed(x, rng)
+	fillMixed(w, rng)
+
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
+	runtime.GOMAXPROCS(1)
+	ref := make([]float32, rows*out)
+	GemmT(ref, x, w, rows, in, out, Opt{})
+
+	for _, procs := range []int{2, 8} {
+		runtime.GOMAXPROCS(procs)
+		got := make([]float32, rows*out)
+		GemmT(got, x, w, rows, in, out, Opt{})
+		if !bitsEqual(got, ref) {
+			t.Errorf("GOMAXPROCS=%d diverges from serial result", procs)
+			firstDiff(t, got, ref)
+		}
+	}
+}
+
+// TestGemmPackedMatchesGemmT proves the pack-once path (PackT +
+// GemmPacked, the convolution batch pattern) produces the same bytes
+// as the self-packing GemmT call.
+func TestGemmPackedMatchesGemmT(t *testing.T) {
+	rng := tensor.NewRNG(0x9AC)
+	rows, in, out := 11, 45, 13
+	x := make([]float32, rows*in)
+	w := make([]float32, out*in)
+	bias := make([]float32, out)
+	fillMixed(x, rng)
+	fillMixed(w, rng)
+	fillMixed(bias, rng)
+	opt := Opt{Bias: bias, Prologue: true}
+	want := make([]float32, rows*out)
+	GemmT(want, x, w, rows, in, out, opt)
+	panel := PackT(w, in, out)
+	defer PutScratch(panel)
+	for i := 0; i < 2; i++ { // reuse the panel like a batch loop does
+		got := make([]float32, rows*out)
+		GemmPacked(got, x, *panel, rows, in, out, opt)
+		if !bitsEqual(got, want) {
+			t.Errorf("GemmPacked pass %d diverges from GemmT", i)
+			firstDiff(t, got, want)
+		}
+	}
+}
+
+func TestScratchPoolReuse(t *testing.T) {
+	p := GetScratch(128)
+	if len(*p) != 128 {
+		t.Fatalf("GetScratch(128) returned len %d", len(*p))
+	}
+	PutScratch(p)
+	q := GetScratch(64)
+	if len(*q) != 64 {
+		t.Fatalf("GetScratch(64) returned len %d", len(*q))
+	}
+	PutScratch(q)
+}
