@@ -1,13 +1,14 @@
 GO ?= go
 
 # Minimum combined statement coverage (%) for internal/harness +
-# internal/resultstore + internal/tensor/kernels. 71.2% was measured
-# when the sharding subsystem landed (PR 4); the kernels package joined
-# the floor in PR 5 without lowering it. cover-check fails CI if the
+# internal/resultstore + internal/tensor/kernels + internal/analyzers.
+# 71.2% was measured when the sharding subsystem landed (PR 4); the
+# kernels package joined the floor in PR 5, the fp8vet analyzer suite
+# in PR 6, both without lowering it. cover-check fails CI if the
 # combined figure regresses below this.
 COVER_FLOOR ?= 71.0
 
-.PHONY: all build vet fmt fmt-check test bench bench-json bench-kernels smoke shard-smoke fuzz cover-check ci
+.PHONY: all build vet vet-contracts lint fmt fmt-check test bench bench-json bench-gate bench-kernels smoke shard-smoke fuzz cover-check ci
 
 all: build
 
@@ -16,6 +17,15 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+# The determinism-contract analyzer suite (cmd/fp8vet): mapiter,
+# nondeterm, floatorder, atomicwrite, cellpurity. A hard CI gate —
+# any unsuppressed finding fails the build.
+vet-contracts:
+	$(GO) run ./cmd/fp8vet ./...
+
+# Umbrella for every static check.
+lint: vet fmt-check vet-contracts
 
 fmt:
 	gofmt -w .
@@ -41,25 +51,30 @@ bench-kernels:
 	$(GO) test -run xxx -bench '$(KERNEL_BENCH)' -benchtime 1x \
 		./internal/tensor/kernels ./internal/nn ./internal/fp8
 
-# Writes BENCH_kernels.json: ns/op and MB/s for every kernel
-# micro-benchmark, so the perf trajectory is tracked across PRs.
-# BENCHTIME trades precision for runtime (the checked-in file was
-# produced with the default).
+# Appends one dated entry (ns/op, MB/s, B/op, allocs/op per kernel
+# micro-benchmark) to BENCH_kernels.json, so the perf trajectory is
+# tracked across PRs as an in-repo diffable history. BENCHTIME trades
+# precision for runtime (the checked-in entries use the default).
 BENCHTIME ?= 300ms
 bench-json:
 	@set -e; out=$$(mktemp); trap 'rm -f "$$out"' EXIT; \
-	$(GO) test -run xxx -bench '$(KERNEL_BENCH)' -benchtime $(BENCHTIME) \
+	$(GO) test -run xxx -bench '$(KERNEL_BENCH)' -benchtime $(BENCHTIME) -benchmem \
 		./internal/tensor/kernels ./internal/nn ./internal/fp8 > "$$out" || \
 		{ cat "$$out"; echo "bench-json: benchmark run failed"; exit 1; }; \
-	awk 'BEGIN { print "[" } \
-		/^Benchmark/ { \
-			name = $$1; sub(/-[0-9]+$$/, "", name); \
-			mbs = "null"; \
-			if ($$6 == "MB/s") mbs = $$5; \
-			if (n++) printf ",\n"; \
-			printf "  {\"name\": \"%s\", \"ns_per_op\": %s, \"mb_per_s\": %s}", name, $$3, mbs } \
-		END { print "\n]" }' "$$out" > BENCH_kernels.json; \
-	cat BENCH_kernels.json
+	$(GO) run ./cmd/benchgate -append -benchtime $(BENCHTIME) -json BENCH_kernels.json "$$out"
+
+# CI gate on the deterministic benchmark counters: allocs/op and
+# bytes/op against the latest recorded BENCH_kernels.json entry.
+# Wall-clock is deliberately not gated — it flaps on shared VMs.
+# 100x iterations amortize one-time pool warm-up allocations while
+# staying fast enough for CI.
+BENCH_GATE_TIME ?= 100x
+bench-gate:
+	@set -e; out=$$(mktemp); trap 'rm -f "$$out"' EXIT; \
+	$(GO) test -run xxx -bench '$(KERNEL_BENCH)' -benchtime $(BENCH_GATE_TIME) -benchmem \
+		./internal/tensor/kernels ./internal/nn ./internal/fp8 > "$$out" || \
+		{ cat "$$out"; echo "bench-gate: benchmark run failed"; exit 1; }; \
+	$(GO) run ./cmd/benchgate -gate -json BENCH_kernels.json "$$out"
 
 # Warm-cache smoke: run table3 twice against a fresh store; the second
 # run must report 0 misses and print a byte-identical report (the
@@ -106,17 +121,17 @@ fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzEncodeRoundTrip -fuzztime=$(FUZZTIME) ./internal/fp8
 	$(GO) test -run=NONE -fuzz=FuzzQuantizeScaledSlice -fuzztime=$(FUZZTIME) ./internal/fp8
 
-# Full-suite coverage profile + combined floor check for the sharding
-# subsystem's packages (internal/harness + internal/resultstore).
+# Full-suite coverage profile + combined floor check for the
+# floor-governed packages (harness, resultstore, kernels, analyzers).
 cover-check:
 	$(GO) test -coverprofile=coverage.out ./...
 	@awk -v floor=$(COVER_FLOOR) -F'[ ]' ' \
-		NR > 1 && $$1 ~ /^fp8quant\/internal\/(harness|resultstore|tensor\/kernels)\//{ \
+		NR > 1 && $$1 ~ /^fp8quant\/internal\/(harness|resultstore|tensor\/kernels|analyzers)\//{ \
 			total += $$2; if ($$3 > 0) covered += $$2 } \
 		END { \
 			if (total == 0) { print "cover-check: no statements matched"; exit 1 } \
 			pct = 100 * covered / total; \
-			printf "harness+resultstore+kernels combined coverage: %.1f%% (floor %.1f%%)\n", pct, floor; \
+			printf "harness+resultstore+kernels+analyzers combined coverage: %.1f%% (floor %.1f%%)\n", pct, floor; \
 			exit (pct < floor) }' coverage.out
 
-ci: build vet fmt-check test
+ci: build lint test

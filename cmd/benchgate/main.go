@@ -1,0 +1,268 @@
+// Command benchgate maintains BENCH_kernels.json, the kernel-layer
+// perf trajectory, and gates CI on the deterministic half of it.
+//
+// Usage:
+//
+//	go test -bench ... -benchmem | benchgate -append [-date D] [-benchtime T]
+//	go test -bench ... -benchmem | benchgate -gate
+//
+// -append parses `go test -bench -benchmem` output and appends one
+// dated entry to the JSON history (converting the pre-history flat
+// array, kept from earlier PRs, into a single "legacy" entry). The
+// file accumulates one entry per recorded run, so the perf trajectory
+// across PRs stays diffable in-repo.
+//
+// -gate compares the current run's allocs/op and bytes/op against the
+// most recent entry that recorded them, and exits nonzero on
+// regression. Wall-clock (ns/op, MB/s) is deliberately not gated: on
+// shared CI VMs it flaps far outside any usable tolerance, while
+// allocation counts are deterministic properties of the code. See
+// allowed() for the per-counter tolerances.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Result is one benchmark's measurements. MBPerS is a pointer so
+// benchmarks that report no throughput serialize as null (the shape
+// the legacy flat format used); the -benchmem counters are omitted
+// when absent.
+type Result struct {
+	Name        string   `json:"name"`
+	NsPerOp     float64  `json:"ns_per_op"`
+	MBPerS      *float64 `json:"mb_per_s"`
+	BytesPerOp  *int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *int64   `json:"allocs_per_op,omitempty"`
+}
+
+// Entry is one recorded benchmark run.
+type Entry struct {
+	Date      string   `json:"date"`
+	Benchtime string   `json:"benchtime,omitempty"`
+	Results   []Result `json:"results"`
+}
+
+func main() {
+	appendMode := flag.Bool("append", false, "append a dated entry to the JSON history")
+	gateMode := flag.Bool("gate", false, "gate allocs/op and bytes/op against the latest recorded entry")
+	jsonPath := flag.String("json", "BENCH_kernels.json", "path of the benchmark history file")
+	date := flag.String("date", "", "entry date for -append (default: today, UTC)")
+	benchtime := flag.String("benchtime", "", "benchtime label recorded with the entry")
+	flag.Parse()
+
+	if *appendMode == *gateMode {
+		fmt.Fprintln(os.Stderr, "benchgate: exactly one of -append or -gate is required")
+		os.Exit(2)
+	}
+
+	in := io.Reader(os.Stdin)
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	cur, err := parseBench(in)
+	if err != nil {
+		fatal(err)
+	}
+	if len(cur) == 0 {
+		fatal(fmt.Errorf("no benchmark lines in input (need `go test -bench` output)"))
+	}
+
+	entries, err := readEntries(*jsonPath)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *appendMode {
+		d := *date
+		if d == "" {
+			d = time.Now().UTC().Format("2006-01-02")
+		}
+		entries = append(entries, Entry{Date: d, Benchtime: *benchtime, Results: cur})
+		buf, err := json.MarshalIndent(entries, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*jsonPath, append(buf, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("benchgate: appended entry %s (%d benchmarks) to %s\n", d, len(cur), *jsonPath)
+		return
+	}
+
+	if failures := gate(entries, cur, os.Stdout); failures > 0 {
+		fmt.Printf("\nbenchgate: %d allocation regression(s) against the recorded baseline\n", failures)
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+	os.Exit(2)
+}
+
+var benchNameRe = regexp.MustCompile(`-\d+$`)
+
+// parseBench extracts per-benchmark measurements from `go test -bench`
+// output. Value/unit pairs follow the iteration count; unknown units
+// are skipped so future testing-package additions stay harmless.
+func parseBench(r io.Reader) ([]Result, error) {
+	var out []Result
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) < 4 {
+			continue
+		}
+		res := Result{Name: benchNameRe.ReplaceAllString(f[0], "")}
+		for i := 2; i+1 < len(f); i += 2 {
+			val, unit := f[i], f[i+1]
+			switch unit {
+			case "ns/op":
+				res.NsPerOp, _ = strconv.ParseFloat(val, 64)
+			case "MB/s":
+				if v, err := strconv.ParseFloat(val, 64); err == nil {
+					res.MBPerS = &v
+				}
+			case "B/op":
+				if v, err := strconv.ParseInt(val, 10, 64); err == nil {
+					res.BytesPerOp = &v
+				}
+			case "allocs/op":
+				if v, err := strconv.ParseInt(val, 10, 64); err == nil {
+					res.AllocsPerOp = &v
+				}
+			}
+		}
+		out = append(out, res)
+	}
+	return out, sc.Err()
+}
+
+// readEntries loads the history file. A missing file is an empty
+// history; the pre-append-era flat array of results becomes a single
+// entry labeled "legacy" so old trajectories are preserved verbatim.
+func readEntries(path string) ([]Entry, error) {
+	buf, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var probe []map[string]json.RawMessage
+	if err := json.Unmarshal(buf, &probe); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	if len(probe) > 0 {
+		if _, hasResults := probe[0]["results"]; !hasResults {
+			var legacy []Result
+			if err := json.Unmarshal(buf, &legacy); err != nil {
+				return nil, fmt.Errorf("%s (legacy format): %v", path, err)
+			}
+			return []Entry{{Date: "legacy", Results: legacy}}, nil
+		}
+	}
+	var entries []Entry
+	if err := json.Unmarshal(buf, &entries); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return entries, nil
+}
+
+// gate compares the current run against the latest entry carrying
+// -benchmem counters and returns the number of regressions. Only
+// benchmarks present in both runs participate; wall-clock is not
+// compared.
+func gate(entries []Entry, cur []Result, w io.Writer) int {
+	var base map[string]Result
+	baseDate := ""
+	for i := len(entries) - 1; i >= 0; i-- {
+		for _, r := range entries[i].Results {
+			if r.AllocsPerOp != nil {
+				base = map[string]Result{}
+				for _, br := range entries[i].Results {
+					base[br.Name] = br
+				}
+				baseDate = entries[i].Date
+				break
+			}
+		}
+		if base != nil {
+			break
+		}
+	}
+	if base == nil {
+		fmt.Fprintln(w, "benchgate: no recorded entry carries allocs/op; nothing to gate against")
+		return 0
+	}
+
+	fmt.Fprintf(w, "benchgate: gating against entry %s\n", baseDate)
+	fmt.Fprintf(w, "%-44s %22s %22s  %s\n", "benchmark", "allocs/op (base→cur)", "bytes/op (base→cur)", "status")
+	failures, compared := 0, 0
+	for _, c := range cur {
+		b, ok := base[c.Name]
+		if !ok || b.AllocsPerOp == nil || c.AllocsPerOp == nil {
+			continue
+		}
+		compared++
+		pass := *c.AllocsPerOp <= allowed(*b.AllocsPerOp, 10, 2)
+		if b.BytesPerOp != nil && c.BytesPerOp != nil && *c.BytesPerOp > allowed(*b.BytesPerOp, 25, 4096) {
+			pass = false
+		}
+		status := "ok"
+		if !pass {
+			status = "FAIL"
+			failures++
+		}
+		fmt.Fprintf(w, "%-44s %22s %22s  %s\n", c.Name,
+			pairString(b.AllocsPerOp, c.AllocsPerOp),
+			pairString(b.BytesPerOp, c.BytesPerOp), status)
+	}
+	if compared == 0 {
+		fmt.Fprintln(w, "benchgate: no benchmark overlaps the recorded baseline; nothing gated")
+	}
+	return failures
+}
+
+// allowed is the regression ceiling: baseline + pct% with an absolute
+// slack floor. Allocation counts get a tight band (10%, +2): they are
+// a deterministic property of the code for a given b.N. Bytes/op gets
+// a wider one (25%, +4096): pooled-scratch growth amortizes over the
+// iteration count, which differs between the recorded benchtime and
+// the gate's fixed-count run.
+func allowed(baseline, pct, slack int64) int64 {
+	tol := baseline * pct / 100
+	if tol < slack {
+		tol = slack
+	}
+	return baseline + tol
+}
+
+func pairString(base, cur *int64) string {
+	f := func(p *int64) string {
+		if p == nil {
+			return "-"
+		}
+		return strconv.FormatInt(*p, 10)
+	}
+	return f(base) + "→" + f(cur)
+}

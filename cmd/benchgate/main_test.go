@@ -1,0 +1,129 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: fp8quant/internal/tensor/kernels
+BenchmarkMatmulT/16x256x256-8   	   10000	    107024 ns/op	2755.58 MB/s	      64 B/op	       2 allocs/op
+BenchmarkBatchEncode-8          	     270	   4437631 ns/op	 945.17 MB/s	       0 B/op	       0 allocs/op
+BenchmarkNoThroughput-8         	     100	      5000 ns/op	     128 B/op	       3 allocs/op
+PASS
+ok  	fp8quant/internal/tensor/kernels	9.157s
+`
+
+func intp(v int64) *int64 { return &v }
+
+func TestParseBench(t *testing.T) {
+	got, err := parseBench(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("parsed %d results, want 3: %v", len(got), got)
+	}
+	r := got[0]
+	if r.Name != "BenchmarkMatmulT/16x256x256" {
+		t.Errorf("name = %q (worker-count suffix must be stripped)", r.Name)
+	}
+	if r.NsPerOp != 107024 {
+		t.Errorf("ns/op = %v, want 107024", r.NsPerOp)
+	}
+	if r.MBPerS == nil || *r.MBPerS != 2755.58 {
+		t.Errorf("MB/s = %v, want 2755.58", r.MBPerS)
+	}
+	if r.BytesPerOp == nil || *r.BytesPerOp != 64 || r.AllocsPerOp == nil || *r.AllocsPerOp != 2 {
+		t.Errorf("benchmem counters = %v/%v, want 64/2", r.BytesPerOp, r.AllocsPerOp)
+	}
+	if got[2].MBPerS != nil {
+		t.Errorf("benchmark without MB/s parsed throughput %v", *got[2].MBPerS)
+	}
+}
+
+func TestReadEntriesLegacyConversion(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bench.json")
+	legacy := `[
+  {"name": "BenchmarkMatmulT/16x256x256", "ns_per_op": 107024, "mb_per_s": 2755.58},
+  {"name": "BenchmarkBatchEncode", "ns_per_op": 4437631, "mb_per_s": 945.17}
+]`
+	if err := os.WriteFile(path, []byte(legacy), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := readEntries(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Date != "legacy" || len(entries[0].Results) != 2 {
+		t.Fatalf("legacy conversion = %+v, want one legacy entry with 2 results", entries)
+	}
+	if entries[0].Results[0].AllocsPerOp != nil {
+		t.Error("legacy results must carry no alloc counters")
+	}
+}
+
+func TestReadEntriesMissingFile(t *testing.T) {
+	entries, err := readEntries(filepath.Join(t.TempDir(), "absent.json"))
+	if err != nil || entries != nil {
+		t.Fatalf("missing file: entries=%v err=%v, want nil/nil", entries, err)
+	}
+}
+
+func TestGate(t *testing.T) {
+	baseline := []Entry{
+		{Date: "legacy", Results: []Result{{Name: "BenchmarkA", NsPerOp: 1}}},
+		{Date: "2026-08-08", Results: []Result{
+			{Name: "BenchmarkA", NsPerOp: 100, BytesPerOp: intp(100000), AllocsPerOp: intp(10)},
+			{Name: "BenchmarkB", NsPerOp: 100, BytesPerOp: intp(0), AllocsPerOp: intp(0)},
+		}},
+	}
+	cases := []struct {
+		name     string
+		cur      []Result
+		failures int
+	}{
+		{"identical", []Result{
+			{Name: "BenchmarkA", BytesPerOp: intp(100000), AllocsPerOp: intp(10)},
+			{Name: "BenchmarkB", BytesPerOp: intp(0), AllocsPerOp: intp(0)},
+		}, 0},
+		{"within tolerance", []Result{
+			{Name: "BenchmarkA", BytesPerOp: intp(125000), AllocsPerOp: intp(11)},
+			{Name: "BenchmarkB", BytesPerOp: intp(4096), AllocsPerOp: intp(2)},
+		}, 0},
+		{"wall clock ignored", []Result{
+			{Name: "BenchmarkA", NsPerOp: 1e9, BytesPerOp: intp(100000), AllocsPerOp: intp(10)},
+		}, 0},
+		{"alloc regression", []Result{
+			{Name: "BenchmarkA", BytesPerOp: intp(100000), AllocsPerOp: intp(13)},
+		}, 1},
+		{"bytes regression", []Result{
+			{Name: "BenchmarkA", BytesPerOp: intp(125001), AllocsPerOp: intp(10)},
+			{Name: "BenchmarkB", BytesPerOp: intp(4097), AllocsPerOp: intp(0)},
+		}, 2},
+		{"new benchmark skipped", []Result{
+			{Name: "BenchmarkNew", BytesPerOp: intp(1 << 30), AllocsPerOp: intp(1 << 20)},
+		}, 0},
+	}
+	for _, tc := range cases {
+		var sb strings.Builder
+		if got := gate(baseline, tc.cur, &sb); got != tc.failures {
+			t.Errorf("%s: %d failures, want %d\n%s", tc.name, got, tc.failures, sb.String())
+		}
+	}
+}
+
+func TestGateNoAllocBaseline(t *testing.T) {
+	entries := []Entry{{Date: "legacy", Results: []Result{{Name: "BenchmarkA", NsPerOp: 1}}}}
+	var sb strings.Builder
+	if got := gate(entries, []Result{{Name: "BenchmarkA", AllocsPerOp: intp(99)}}, &sb); got != 0 {
+		t.Errorf("gate without alloc baseline = %d failures, want 0 (vacuous pass)", got)
+	}
+	if !strings.Contains(sb.String(), "nothing to gate") {
+		t.Errorf("output %q should state the gate is vacuous", sb.String())
+	}
+}

@@ -1,0 +1,237 @@
+// floatorder: kernel/codec float math must keep the bit-identity
+// contract honest.
+//
+// The GEMM tier and the FP8 codec are proven byte-identical to their
+// scalar oracles, and every future tier (AVX2/FMA, NEON) must pin to
+// the same oracle. Three source patterns quietly break that:
+//
+//  1. math.FMA — a fused multiply-add rounds once where the oracle
+//     rounds twice; its result is not reproducible by plain * and +.
+//  2. x*y ± z written as one expression — the Go spec allows the
+//     compiler to contract it into an FMA (and does, on arm64/ppc64),
+//     so the "portable fallback" stops matching the amd64 SSE path.
+//     An explicit conversion — acc += float32(x*y) — forces the
+//     intermediate rounding and forbids contraction.
+//  3. Multi-accumulator reductions — splitting one sum across several
+//     accumulators combined after the loop reassociates the adds.
+//     (Independent accumulators for independent outputs, as in the
+//     4×8 register tile, are fine: they are never combined.)
+//
+// Float ==/!= comparisons between computed values are also reported:
+// under reassociation or contraction the compared bits shift, so the
+// branch is not portable. Comparisons against numeric literals
+// (x == 0: exact-representability checks, a codec idiom) are allowed.
+
+package analyzers
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+func floatorderAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "floatorder",
+		Doc:  "kernel/codec packages: no math.FMA, no contractible x*y±z, no float ==, no split accumulators",
+		Run:  runFloatorder,
+	}
+}
+
+func runFloatorder(pkgs []*Package) []Finding {
+	var out []Finding
+	for _, p := range pkgs {
+		if !kernelOrCodecPackage(p) {
+			continue
+		}
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.CallExpr:
+					if fn := calleeFunc(p.Info, n); fn != nil && fn.Pkg() != nil &&
+						fn.Pkg().Path() == "math" && fn.Name() == "FMA" {
+						out = append(out, Finding{Check: "floatorder", Pos: position(p, n),
+							Message: "math.FMA rounds once where the scalar oracle rounds twice; not bit-reproducible by * and +"})
+					}
+				case *ast.BinaryExpr:
+					out = append(out, checkFloatBinary(p, n)...)
+				case *ast.AssignStmt:
+					if n.Tok == token.ADD_ASSIGN || n.Tok == token.SUB_ASSIGN {
+						for _, rhs := range n.Rhs {
+							if mulOperand(p, rhs) {
+								out = append(out, Finding{Check: "floatorder", Pos: position(p, n),
+									Message: contractionMsg})
+							}
+						}
+					}
+				case *ast.FuncDecl:
+					if n.Body != nil {
+						out = append(out, checkSplitAccumulators(p, n)...)
+					}
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+const contractionMsg = "x*y ± z in one expression invites FMA contraction (arm64/ppc64 fuse it); " +
+	"round the product explicitly: float32(x*y)"
+
+// checkFloatBinary reports contractible x*y ± z shapes and float
+// equality comparisons.
+func checkFloatBinary(p *Package, b *ast.BinaryExpr) []Finding {
+	var out []Finding
+	switch b.Op {
+	case token.ADD, token.SUB:
+		if isFloat(p.Info.TypeOf(b)) && (mulOperand(p, b.X) || mulOperand(p, b.Y)) {
+			out = append(out, Finding{Check: "floatorder", Pos: position(p, b), Message: contractionMsg})
+		}
+	case token.EQL, token.NEQ:
+		if isFloat(p.Info.TypeOf(b.X)) && isFloat(p.Info.TypeOf(b.Y)) &&
+			!isNumericLiteral(p, b.X) && !isNumericLiteral(p, b.Y) {
+			out = append(out, Finding{Check: "floatorder", Pos: position(p, b),
+				Message: fmt.Sprintf("float %s comparison between computed values; compare bit patterns (math.Float32bits) or restructure", b.Op)})
+		}
+	}
+	return out
+}
+
+// mulOperand reports whether e is a bare float multiplication — the
+// shape eligible for contraction when it feeds + or - directly. An
+// explicit conversion (float32(x*y)) breaks eligibility, which is
+// exactly the sanctioned fix.
+func mulOperand(p *Package, e ast.Expr) bool {
+	mul, ok := unparen(e).(*ast.BinaryExpr)
+	return ok && mul.Op == token.MUL && isFloat(p.Info.TypeOf(mul))
+}
+
+// isNumericLiteral reports whether the expression is a compile-time
+// numeric constant (0, 1.5, a named const …).
+func isNumericLiteral(p *Package, e ast.Expr) bool {
+	tv, ok := p.Info.Types[unparen(e)]
+	return ok && tv.Value != nil
+}
+
+// checkSplitAccumulators flags loops that accumulate one reduction
+// into several float variables and then combine them after the loop —
+// the 2/4-way unrolling that reassociates a sum.
+func checkSplitAccumulators(p *Package, fn *ast.FuncDecl) []Finding {
+	var out []Finding
+	// Walk each block; for every for-loop statement in it, collect the
+	// float accumulators (+= targets declared outside the loop) and
+	// scan the *rest of the block* for an expression adding two of
+	// them together.
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		block, ok := n.(*ast.BlockStmt)
+		if !ok {
+			return true
+		}
+		for i, stmt := range block.List {
+			loop, ok := stmt.(*ast.ForStmt)
+			if !ok {
+				continue
+			}
+			accs := loopFloatAccumulators(p, loop)
+			if len(accs) < 2 {
+				continue
+			}
+			for _, later := range block.List[i+1:] {
+				if comb := findCombined(p, later, accs); comb != nil {
+					out = append(out, Finding{Check: "floatorder", Pos: position(p, comb),
+						Message: "combining loop accumulators reassociates the reduction; keep a single accumulator in ascending-k order"})
+					break
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// loopFloatAccumulators returns the objects of float variables
+// declared outside the loop that receive += (or x = x + …) inside it.
+func loopFloatAccumulators(p *Package, loop *ast.ForStmt) map[types.Object]bool {
+	accs := map[types.Object]bool{}
+	ast.Inspect(loop.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := unparen(lhs).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			obj := p.Info.ObjectOf(id)
+			if obj == nil || !isFloat(obj.Type()) || obj.Pos() >= loop.Pos() {
+				continue
+			}
+			switch {
+			case as.Tok == token.ADD_ASSIGN:
+				accs[obj] = true
+			case as.Tok == token.ASSIGN && i < len(as.Rhs):
+				if add, ok := unparen(as.Rhs[i]).(*ast.BinaryExpr); ok && add.Op == token.ADD {
+					if exprUsesObj(p, add, obj) {
+						accs[obj] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	return accs
+}
+
+// findCombined returns the first +/- expression under stmt whose two
+// operand trees each mention a distinct accumulator.
+func findCombined(p *Package, stmt ast.Stmt, accs map[types.Object]bool) ast.Expr {
+	var found ast.Expr
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		b, ok := n.(*ast.BinaryExpr)
+		if !ok || (b.Op != token.ADD && b.Op != token.SUB) {
+			return true
+		}
+		lx := accumulatorsIn(p, b.X, accs)
+		ly := accumulatorsIn(p, b.Y, accs)
+		for o := range ly {
+			if len(lx) > 0 && !lx[o] {
+				found = b
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// accumulatorsIn returns which accumulators appear in the expression.
+func accumulatorsIn(p *Package, e ast.Expr, accs map[types.Object]bool) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := p.Info.ObjectOf(id); obj != nil && accs[obj] {
+				out[obj] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// exprUsesObj reports whether the expression mentions the object.
+func exprUsesObj(p *Package, e ast.Expr, obj types.Object) bool {
+	used := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && p.Info.ObjectOf(id) == obj {
+			used = true
+		}
+		return !used
+	})
+	return used
+}

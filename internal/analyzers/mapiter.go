@@ -1,0 +1,194 @@
+// mapiter: map iteration order must not reach an order-sensitive sink.
+//
+// Go randomizes map iteration per run. A `range` over a map is fine
+// when the body is order-insensitive — inserting into another map,
+// membership tests, counting — and fine under the collect-then-sort
+// idiom (append the keys, sort, iterate the slice). It is a report
+// poisoner when the body prints, string-builds, JSON-encodes, writes
+// store entries, or appends to a slice that is never sorted: the same
+// grid then renders differently run to run, and byte-compared store
+// payloads stop being comparable.
+
+package analyzers
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+func mapiterAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "mapiter",
+		Doc:  "range over a map must not feed rendering/encoding/store writes unless keys are sorted first",
+		Run:  runMapiter,
+	}
+}
+
+// mapiterSinkCalls are qualified functions whose call inside a
+// map-range body makes the iteration order observable.
+var mapiterSinkCalls = map[string]bool{
+	"fmt.Print": true, "fmt.Printf": true, "fmt.Println": true,
+	"fmt.Fprint": true, "fmt.Fprintf": true, "fmt.Fprintln": true,
+	"fmt.Sprint": true, "fmt.Sprintf": true, "fmt.Sprintln": true,
+	"fmt.Appendf":           true,
+	"encoding/json.Marshal": true, "encoding/json.MarshalIndent": true,
+	"os.WriteFile": true,
+}
+
+// mapiterSinkMethods are method names that emit in call order wherever
+// they live: stream writers, the table builder, store persistence.
+var mapiterSinkMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"Encode": true,
+	"add":    true, "addf": true, // harness table builder
+	"SaveCell": true, "SaveManifest": true, // resultstore
+}
+
+func runMapiter(pkgs []*Package) []Finding {
+	var out []Finding
+	eachFuncDecl(pkgs, func(p *Package, d *ast.FuncDecl) {
+		ast.Inspect(d.Body, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := p.Info.TypeOf(rng.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if f := mapRangeSink(p, d, rng); f != nil {
+				out = append(out, *f)
+			}
+			return true
+		})
+	})
+	return out
+}
+
+// mapRangeSink decides whether one map-range statement leaks iteration
+// order, returning the finding if so.
+func mapRangeSink(p *Package, fn *ast.FuncDecl, rng *ast.RangeStmt) *Finding {
+	var finding *Finding
+	report := func(n ast.Node, format string, args ...any) {
+		if finding == nil {
+			finding = &Finding{Check: "mapiter", Pos: position(p, n),
+				Message: fmt.Sprintf(format, args...)}
+		}
+	}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if name, sink := sinkCallName(p, n); sink {
+				report(n, "map iteration order reaches %s; sort the keys first", name)
+			}
+			// append(s, ...) is order-sensitive unless s is sorted
+			// after the loop.
+			if id, ok := unparen(n.Fun).(*ast.Ident); ok && id.Name == "append" && len(n.Args) > 0 {
+				if target, ok := unparen(n.Args[0]).(*ast.Ident); ok {
+					if !sortedAfter(p, fn, rng, target) {
+						report(n, "append to %q inside a map range, and %q is never sorted afterwards", target.Name, target.Name)
+					}
+				} else {
+					report(n, "append to a non-identifier target inside a map range; cannot prove it is sorted")
+				}
+			}
+		case *ast.AssignStmt:
+			// Writing slice elements / struct fields in key order is a
+			// sink; writing map entries is not (maps are unordered on
+			// both sides).
+			for _, lhs := range n.Lhs {
+				if orderSensitiveLHS(p, lhs) {
+					report(n, "ordered write to %s inside a map range; iterate sorted keys instead", lhsDesc(lhs))
+				}
+			}
+		}
+		return true
+	})
+	return finding
+}
+
+// sinkCallName reports whether the call is an order-sensitive sink and
+// names it for the message.
+func sinkCallName(p *Package, call *ast.CallExpr) (string, bool) {
+	if f := calleeFunc(p.Info, call); f != nil && f.Pkg() != nil {
+		q := f.Pkg().Path() + "." + f.Name()
+		if mapiterSinkCalls[q] {
+			return q, true
+		}
+		if sig, ok := f.Type().(*types.Signature); ok && sig.Recv() != nil && mapiterSinkMethods[f.Name()] {
+			return recvTypeName(sig.Recv().Type()) + "." + f.Name(), true
+		}
+	}
+	return "", false
+}
+
+// orderSensitiveLHS reports whether assigning through this LHS records
+// iteration order: slice/array indexing does; map indexing and plain
+// (re)assignment of locals do not.
+func orderSensitiveLHS(p *Package, lhs ast.Expr) bool {
+	idx, ok := unparen(lhs).(*ast.IndexExpr)
+	if !ok {
+		return false
+	}
+	t := p.Info.TypeOf(idx.X)
+	if t == nil {
+		return false
+	}
+	switch t.Underlying().(type) {
+	case *types.Slice, *types.Array, *types.Pointer:
+		return true
+	}
+	return false
+}
+
+func lhsDesc(lhs ast.Expr) string {
+	if idx, ok := unparen(lhs).(*ast.IndexExpr); ok {
+		if id, ok := unparen(idx.X).(*ast.Ident); ok {
+			return fmt.Sprintf("%s[...]", id.Name)
+		}
+	}
+	return "an indexed element"
+}
+
+// sortedAfter reports whether ident's object is passed to a sort call
+// in fn after the range statement — the collect-then-sort idiom.
+func sortedAfter(p *Package, fn *ast.FuncDecl, rng *ast.RangeStmt, target *ast.Ident) bool {
+	obj := p.Info.ObjectOf(target)
+	if obj == nil {
+		return false
+	}
+	sorted := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if sorted {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() <= rng.End() {
+			return true
+		}
+		f := calleeFunc(p.Info, call)
+		if f == nil || f.Pkg() == nil {
+			return true
+		}
+		// The sort package, slices.Sort*, or a local helper whose name
+		// says it sorts (sortFindings, sortCells, …) all count.
+		pkg := f.Pkg().Path()
+		if pkg != "sort" && pkg != "slices" &&
+			!strings.Contains(strings.ToLower(f.Name()), "sort") {
+			return true
+		}
+		for _, arg := range call.Args {
+			base := unparen(arg)
+			if id, ok := base.(*ast.Ident); ok && p.Info.ObjectOf(id) == obj {
+				sorted = true
+			}
+		}
+		return true
+	})
+	return sorted
+}

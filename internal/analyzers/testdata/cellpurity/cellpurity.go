@@ -1,0 +1,48 @@
+// Fixture for the cellpurity check: RunCell bodies and their direct
+// in-package callees must not assign package-level variables.
+package cellpurityfix
+
+var hits int
+var cache = map[string]int{}
+var cfg struct{ N int }
+var refCache []int
+
+type Cell struct{}
+
+func (Cell) RunCell(key string) int {
+	hits++         // want cellpurity "hits"
+	cache[key] = 1 // want cellpurity "cache"
+	cfg.N = 2      // want cellpurity "cfg"
+	viaTwo()
+	fillCache()
+	return localHelper(key)
+}
+
+// localHelper is a direct in-package callee: audited one level deep.
+func localHelper(key string) int {
+	hits += 1 // want cellpurity "hits"
+	return len(key)
+}
+
+// viaTwo is audited but clean; deepWrite, two levels down, is outside
+// the audited set.
+func viaTwo() { deepWrite() }
+
+func deepWrite() { hits = 0 }
+
+// Ignored: a documented exemption suppresses the finding.
+func fillCache() {
+	//fp8vet:ignore cellpurity fixture exemption: mutex-free compute-once cache, value independent of call order
+	refCache = []int{1}
+}
+
+type PureCell struct{}
+
+// Negative: cell-local state is the whole point.
+func (PureCell) RunCell() int {
+	local := map[string]int{}
+	local["a"] = 1
+	n := 0
+	n++
+	return n + len(local)
+}

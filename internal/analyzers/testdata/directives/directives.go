@@ -1,0 +1,14 @@
+// Fixture for directive hygiene: an ignore naming an unknown check or
+// giving no reason is itself reported, and a reason-less ignore
+// suppresses nothing.
+package directivesfix
+
+import "fmt"
+
+func bad(m map[string]int) {
+	//fp8vet:ignore nosuchcheck because reasons
+	//fp8vet:ignore mapiter
+	for k := range m {
+		fmt.Println(k)
+	}
+}

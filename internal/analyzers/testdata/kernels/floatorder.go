@@ -1,0 +1,65 @@
+// Fixture for the floatorder check. The directory is named "kernels"
+// so the package falls under the bit-identity contract scope.
+package kernels
+
+import "math"
+
+// Positive: a fused multiply-add rounds once.
+func useFMA(a, b, c float64) float64 {
+	return math.FMA(a, b, c) // want floatorder "math.FMA"
+}
+
+// Positive: contraction-eligible expression.
+func contractExpr(a, v, b float32) float32 {
+	return a + v*b // want floatorder "contraction"
+}
+
+// Positive: contraction-eligible compound assignment.
+func contractAssign(acc, v, b float32) float32 {
+	acc += v * b // want floatorder "contraction"
+	return acc
+}
+
+// Negative: the sanctioned fix — explicit rounding blocks contraction.
+func roundedOK(acc, v, b float32) float32 {
+	acc += float32(v * b)
+	return acc
+}
+
+// Positive: float equality between computed values.
+func eqComputed(x, y float64) bool {
+	return x*2 == y // want floatorder "comparison"
+}
+
+// Negative: comparisons against numeric literals are the codec idiom.
+func eqLiteral(x float64) bool {
+	return x == 0
+}
+
+// Positive: split accumulators combined after the loop reassociate the
+// reduction.
+func splitAcc(xs []float32) float32 {
+	var s0, s1 float32
+	for i := 0; i+1 < len(xs); i += 2 {
+		s0 += xs[i]
+		s1 += xs[i+1]
+	}
+	return s0 + s1 // want floatorder "reassociates"
+}
+
+// Negative: independent accumulators for independent outputs are never
+// combined (the 4×8 register-tile shape).
+func independentAcc(xs, ys []float32) (float32, float32) {
+	var a0, a1 float32
+	for i := range xs {
+		a0 += xs[i]
+		a1 += ys[i]
+	}
+	return a0, a1
+}
+
+// Ignored: a documented exemption suppresses the finding.
+func ignoredEq(x, y float64) bool {
+	//fp8vet:ignore floatorder fixture exemption: operands are exact copies, no arithmetic on either side
+	return x+1 == y+1
+}

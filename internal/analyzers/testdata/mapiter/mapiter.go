@@ -1,0 +1,95 @@
+// Fixture for the mapiter check. Lines carrying a want-marker comment
+// must produce a finding whose message contains the quoted substring;
+// every other line must stay silent.
+package mapiterfix
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Positive: printing inside a map range leaks iteration order.
+func printLeak(m map[string]int) {
+	for k, v := range m {
+		fmt.Printf("%s=%d\n", k, v) // want mapiter "fmt.Printf"
+	}
+}
+
+// Positive: stream-writer methods emit in call order.
+func builderLeak(m map[string]int, b *strings.Builder) {
+	for k := range m {
+		b.WriteString(k) // want mapiter "Builder.WriteString"
+	}
+}
+
+// Positive: JSON-encoding per entry.
+func jsonLeak(m map[string]int, out []byte) []byte {
+	for k := range m {
+		bs, _ := json.Marshal(k) // want mapiter "encoding/json.Marshal"
+		out = append(out, bs...)
+	}
+	return out
+}
+
+// Positive: keys collected but never sorted afterwards.
+func unsortedKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want mapiter "never sorted"
+	}
+	return keys
+}
+
+// Positive: writing slice elements in key order records the order.
+func orderedWrite(m map[int]string, out []string) {
+	i := 0
+	for _, v := range m {
+		out[i] = v // want mapiter "ordered write"
+		i++
+	}
+}
+
+// Negative: the collect-then-sort idiom.
+func sortedCollect(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Negative: a local helper whose name says it sorts counts too.
+func sortedByHelper(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sortStrings(keys)
+	return keys
+}
+
+func sortStrings(s []string) { sort.Strings(s) }
+
+// Negative: map-to-map transfer, membership tests and counting are
+// order-insensitive.
+func transfer(dst, src map[string]int) int {
+	n := 0
+	for k, v := range src {
+		dst[k] = v
+		if _, ok := dst[k]; ok {
+			n++
+		}
+	}
+	return n
+}
+
+// Ignored: a documented exemption suppresses the finding.
+func ignoredLeak(m map[string]int) {
+	for k := range m {
+		//fp8vet:ignore mapiter fixture exemption: demo output whose order is irrelevant
+		fmt.Println(k)
+	}
+}

@@ -1,0 +1,47 @@
+// Fixture for the atomicwrite check, in-store side: the directory is
+// named "resultstore" so every direct file-creation call except the
+// writeAtomic helper is a violation.
+package resultstore
+
+import "os"
+
+// writeAtomic is the sanctioned temp+rename helper: its own direct
+// calls are allowed.
+func writeAtomic(path string, data []byte) error {
+	f, err := os.Create(path + ".tmp")
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(path+".tmp", path)
+}
+
+// Positive: a direct in-place write bypasses the helper.
+func saveDirect(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644) // want atomicwrite "bypasses writeAtomic"
+}
+
+// Positive: so does creating the file in place.
+func createDirect(path string) error {
+	f, err := os.Create(path) // want atomicwrite "bypasses writeAtomic"
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// Ignored: a documented exemption suppresses the finding.
+func lockFile(path string) error {
+	//fp8vet:ignore atomicwrite fixture exemption: lock files are presence-only, readers never parse them
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,36 @@
+// Fixture for the atomicwrite check, client side: outside the store
+// package, direct writes are violations only when the path argument is
+// derived from a Store location.
+package storeclient
+
+import (
+	"os"
+	"path/filepath"
+)
+
+// Store mimics the result store's path API.
+type Store struct{ root string }
+
+func (s Store) Dir() string               { return s.root }
+func (s Store) CellPath(id string) string { return filepath.Join(s.root, id) }
+
+// Positive: writing directly to a cell path.
+func writeIntoStore(s Store, data []byte) error {
+	return os.WriteFile(s.CellPath("cell"), data, 0o644) // want atomicwrite "result-store path"
+}
+
+// Positive: a path built from the store directory.
+func writeBeside(s Store, data []byte) error {
+	return os.WriteFile(filepath.Join(s.Dir(), "extra"), data, 0o644) // want atomicwrite "result-store path"
+}
+
+// Negative: unrelated paths are not the store's business.
+func writeElsewhere(dir string, data []byte) error {
+	return os.WriteFile(filepath.Join(dir, "notes.txt"), data, 0o644)
+}
+
+// Ignored: a documented exemption suppresses the finding.
+func exportCopy(s Store, data []byte) error {
+	//fp8vet:ignore atomicwrite fixture exemption: one-shot export no concurrent reader ever opens
+	return os.WriteFile(s.CellPath("export"), data, 0o644)
+}

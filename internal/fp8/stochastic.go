@@ -44,6 +44,7 @@ func (f Format) EncodeStochastic(x float64, r *tensor.RNG) uint8 {
 	// Find the two neighbouring grid points via floor-rounding.
 	lo := f.floorQuantize(ax)
 	hi := f.nextUp(lo)
+	//fp8vet:ignore floatorder exact grid-point landing test: lo is copied from the grid slice (or is ax itself), never recomputed, so the bits compare exactly
 	if lo == ax {
 		return sign | f.Encode(ax)&0x7F
 	}
@@ -67,6 +68,7 @@ func (f Format) floorQuantize(ax float64) float64 {
 	g := f.grid()
 	// First index with g[i] > ax; the floor is the previous point.
 	i := sort.SearchFloat64s(g, ax)
+	//fp8vet:ignore floatorder binary-search exact-membership test against stored grid values; no arithmetic on either side
 	if i < len(g) && g[i] == ax {
 		return ax
 	}
@@ -81,6 +83,7 @@ func (f Format) floorQuantize(ax float64) float64 {
 func (f Format) nextUp(v float64) float64 {
 	g := f.grid()
 	i := sort.SearchFloat64s(g, v)
+	//fp8vet:ignore floatorder binary-search exact-membership test against stored grid values; no arithmetic on either side
 	if i < len(g) && g[i] == v {
 		i++
 	}

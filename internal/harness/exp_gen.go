@@ -63,6 +63,7 @@ func fig6Reference() *tensor.Tensor {
 	genRefMu.Lock()
 	defer genRefMu.Unlock()
 	if fig6Ref == nil {
+		//fp8vet:ignore cellpurity mutex-guarded compute-once cache of seeded reference data; every caller computes the identical value, so fill order cannot matter
 		fig6Ref = diffusion.NewPipeline(fig6Seed, fig6Prompts).Generate(fig6ImagesPerPrompt)
 	}
 	return fig6Ref
@@ -159,6 +160,7 @@ func table4Reference() []int {
 	defer genRefMu.Unlock()
 	if table4RefGen == nil {
 		lm := models.NewGenLM(table4Seed)
+		//fp8vet:ignore cellpurity mutex-guarded compute-once cache of seeded reference data; every caller computes the identical value, so fill order cannot matter
 		table4RefGen = textgen.BeamSearch(lm, table4Prompt(lm.Vocab()), table4BeamWidth, table4MaxNew)
 	}
 	return table4RefGen

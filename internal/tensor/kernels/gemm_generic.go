@@ -5,7 +5,11 @@ package kernels
 // Portable inner kernels: the same 4×8 accumulator tile as the amd64
 // SSE path, expressed as 32 scalar chains the compiler keeps
 // independent. Bit-identical to the assembly by construction — each
-// chain is `acc += v*b` in ascending k order.
+// chain is `acc += float32(v*b)` in ascending k order. The explicit
+// float32 conversion forces the product to round before the add: the
+// Go spec otherwise permits fusing `a + v*b` into an FMA (arm64 and
+// ppc64 do), which rounds once and would break bit-identity with the
+// two-rounding SSE path. It is a no-op on targets that never fuse.
 
 func inner4x8(x, p []float32, in int, acc *[mr * nr]float32) {
 	x0 := x[:in:in]
@@ -22,25 +26,25 @@ func inner4x8(x, p []float32, in int, acc *[mr * nr]float32) {
 			pk := p[k*nr+h : k*nr+h+4 : k*nr+h+4]
 			b0, b1, b2, b3 := pk[0], pk[1], pk[2], pk[3]
 			v := x0[k]
-			a00 += v * b0
-			a01 += v * b1
-			a02 += v * b2
-			a03 += v * b3
+			a00 += float32(v * b0)
+			a01 += float32(v * b1)
+			a02 += float32(v * b2)
+			a03 += float32(v * b3)
 			v = x1[k]
-			a10 += v * b0
-			a11 += v * b1
-			a12 += v * b2
-			a13 += v * b3
+			a10 += float32(v * b0)
+			a11 += float32(v * b1)
+			a12 += float32(v * b2)
+			a13 += float32(v * b3)
 			v = x2[k]
-			a20 += v * b0
-			a21 += v * b1
-			a22 += v * b2
-			a23 += v * b3
+			a20 += float32(v * b0)
+			a21 += float32(v * b1)
+			a22 += float32(v * b2)
+			a23 += float32(v * b3)
 			v = x3[k]
-			a30 += v * b0
-			a31 += v * b1
-			a32 += v * b2
-			a33 += v * b3
+			a30 += float32(v * b0)
+			a31 += float32(v * b1)
+			a32 += float32(v * b2)
+			a33 += float32(v * b3)
 		}
 		acc[h], acc[h+1], acc[h+2], acc[h+3] = a00, a01, a02, a03
 		acc[nr+h], acc[nr+h+1], acc[nr+h+2], acc[nr+h+3] = a10, a11, a12, a13
@@ -57,10 +61,10 @@ func inner1x8(x, p []float32, in int, acc *[nr]float32) {
 		for k := 0; k < in; k++ {
 			pk := p[k*nr+h : k*nr+h+4 : k*nr+h+4]
 			v := xr[k]
-			a0 += v * pk[0]
-			a1 += v * pk[1]
-			a2 += v * pk[2]
-			a3 += v * pk[3]
+			a0 += float32(v * pk[0])
+			a1 += float32(v * pk[1])
+			a2 += float32(v * pk[2])
+			a3 += float32(v * pk[3])
 		}
 		acc[h], acc[h+1], acc[h+2], acc[h+3] = a0, a1, a2, a3
 	}

@@ -60,6 +60,7 @@ func ParallelFor(n, minGrain int, body func(lo, hi int)) {
 	if minGrain < 1 {
 		minGrain = 1
 	}
+	//fp8vet:ignore nondeterm parallelism degree only: chunks are disjoint and each output slot is written once, so any worker count yields identical bytes (proven by the cross-worker-count differential tests)
 	workers := runtime.GOMAXPROCS(0)
 	if n <= minGrain || workers <= 1 {
 		body(0, n)
