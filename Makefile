@@ -8,7 +8,7 @@ GO ?= go
 # combined figure regresses below this.
 COVER_FLOOR ?= 71.0
 
-.PHONY: all build vet vet-contracts lint fmt fmt-check test bench bench-json bench-gate bench-kernels smoke shard-smoke fuzz cover-check ci
+.PHONY: all build vet vet-contracts lint fmt fmt-check test bench bench-json bench-gate bench-kernels bench-trend smoke shard-smoke serve-smoke fuzz cover-check ci
 
 all: build
 
@@ -45,8 +45,10 @@ bench:
 
 # The kernel-layer micro-benchmarks (blocked GEMM vs the naive loop,
 # im2col conv vs the direct loop, 4-lane batch encode vs per-element
-# calls). One fast iteration set; used as the CI smoke step.
-KERNEL_BENCH = BenchmarkMatmulT|BenchmarkMatmulTNaive|BenchmarkConv2dIm2col|BenchmarkConv2dDirect|BenchmarkBatchMatMul|BenchmarkBatchEncode
+# calls, planned vs unplanned module forwards — the planned ones must
+# hold 0 allocs/op under bench-gate). One fast iteration set; used as
+# the CI smoke step.
+KERNEL_BENCH = BenchmarkMatmulT|BenchmarkMatmulTNaive|BenchmarkConv2dIm2col|BenchmarkConv2dDirect|BenchmarkBatchMatMul|BenchmarkBatchEncode|BenchmarkForwardUnplanned|BenchmarkForwardPlanned
 bench-kernels:
 	$(GO) test -run xxx -bench '$(KERNEL_BENCH)' -benchtime 1x \
 		./internal/tensor/kernels ./internal/nn ./internal/fp8
@@ -75,6 +77,11 @@ bench-gate:
 		./internal/tensor/kernels ./internal/nn ./internal/fp8 > "$$out" || \
 		{ cat "$$out"; echo "bench-gate: benchmark run failed"; exit 1; }; \
 	$(GO) run ./cmd/benchgate -gate -json BENCH_kernels.json "$$out"
+
+# Markdown/ASCII trend report over the recorded BENCH_kernels.json
+# entries: first vs latest ns/op per benchmark with a sparkline.
+bench-trend:
+	$(GO) run ./cmd/benchgate -trend -json BENCH_kernels.json
 
 # Warm-cache smoke: run table3 twice against a fresh store; the second
 # run must report 0 misses and print a byte-identical report (the
@@ -114,6 +121,14 @@ shard-smoke:
 		echo "shard-smoke: merged report differs from unsharded run"; exit 1; }; \
 	echo "shard-smoke: 3 shards merged, coverage complete, report identical, 0 misses"
 
+# Serving smoke: fp8serve on a small quantized model at two worker
+# counts. The -check audit bit-compares every served row (planned,
+# batched) against an unplanned single-sample forward, and the command
+# exits nonzero on any mismatch or zero throughput.
+serve-smoke:
+	$(GO) run ./cmd/fp8serve -model cifar_resnet20 -recipe e4m3 \
+		-workers 1,2 -requests 64 -batch 4
+
 # Short bounded pass over each native fuzz target (the codec oracle
 # equivalence); run with a larger FUZZTIME locally to dig deeper.
 FUZZTIME ?= 15s
@@ -134,4 +149,4 @@ cover-check:
 			printf "harness+resultstore+kernels+analyzers combined coverage: %.1f%% (floor %.1f%%)\n", pct, floor; \
 			exit (pct < floor) }' coverage.out
 
-ci: build lint test
+ci: build lint test serve-smoke

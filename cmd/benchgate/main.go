@@ -5,6 +5,12 @@
 //
 //	go test -bench ... -benchmem | benchgate -append [-date D] [-benchtime T]
 //	go test -bench ... -benchmem | benchgate -gate
+//	benchgate -trend
+//
+// -trend renders the recorded history as a markdown table with an
+// ASCII sparkline per benchmark (ns/op across entries, plus the
+// first→latest allocs/op movement), reading only the JSON file — no
+// benchmark run required.
 //
 // -append parses `go test -bench -benchmem` output and appends one
 // dated entry to the JSON history (converting the pre-history flat
@@ -55,14 +61,30 @@ type Entry struct {
 func main() {
 	appendMode := flag.Bool("append", false, "append a dated entry to the JSON history")
 	gateMode := flag.Bool("gate", false, "gate allocs/op and bytes/op against the latest recorded entry")
+	trendMode := flag.Bool("trend", false, "render the recorded history as a markdown trend report")
 	jsonPath := flag.String("json", "BENCH_kernels.json", "path of the benchmark history file")
 	date := flag.String("date", "", "entry date for -append (default: today, UTC)")
 	benchtime := flag.String("benchtime", "", "benchtime label recorded with the entry")
 	flag.Parse()
 
-	if *appendMode == *gateMode {
-		fmt.Fprintln(os.Stderr, "benchgate: exactly one of -append or -gate is required")
+	modes := 0
+	for _, m := range []bool{*appendMode, *gateMode, *trendMode} {
+		if m {
+			modes++
+		}
+	}
+	if modes != 1 {
+		fmt.Fprintln(os.Stderr, "benchgate: exactly one of -append, -gate or -trend is required")
 		os.Exit(2)
+	}
+
+	if *trendMode {
+		entries, err := readEntries(*jsonPath)
+		if err != nil {
+			fatal(err)
+		}
+		trend(entries, *jsonPath, os.Stdout)
+		return
 	}
 
 	in := io.Reader(os.Stdin)
@@ -241,6 +263,89 @@ func gate(entries []Entry, cur []Result, w io.Writer) int {
 		fmt.Fprintln(w, "benchgate: no benchmark overlaps the recorded baseline; nothing gated")
 	}
 	return failures
+}
+
+// sparkChars are the ASCII levels of the trend sparkline, slowest
+// (highest ns/op) to fastest.
+const sparkChars = "#%*=~-,."
+
+// spark maps a ns/op series to one ASCII character per entry, scaled
+// to the series' own min..max (a flat series renders as all '-').
+// Entries where the benchmark is absent render as a space.
+func spark(vals []float64) string {
+	mn, mx := 0.0, 0.0
+	first := true
+	for _, v := range vals {
+		if v <= 0 {
+			continue
+		}
+		if first || v < mn {
+			mn = v
+		}
+		if first || v > mx {
+			mx = v
+		}
+		first = false
+	}
+	var b strings.Builder
+	for _, v := range vals {
+		switch {
+		case v <= 0:
+			b.WriteByte(' ')
+		case mx == mn:
+			b.WriteByte('-')
+		default:
+			lvl := int((mx - v) / (mx - mn) * float64(len(sparkChars)-1))
+			b.WriteByte(sparkChars[lvl])
+		}
+	}
+	return b.String()
+}
+
+// trend renders the recorded history as a markdown table: one row per
+// benchmark (in latest-entry order), first and latest ns/op, the
+// percentage change between them, the latest allocs/op, and an ASCII
+// sparkline over every dated entry.
+func trend(entries []Entry, path string, w io.Writer) {
+	if len(entries) == 0 {
+		fmt.Fprintf(w, "benchgate: %s holds no entries; nothing to trend\n", path)
+		return
+	}
+	fmt.Fprintf(w, "## Kernel benchmark trend — %s\n\n", path)
+	fmt.Fprintf(w, "%d entries, %s → %s. Sparkline: `%c` slowest … `%c` fastest, per-benchmark scale.\n\n",
+		len(entries), entries[0].Date, entries[len(entries)-1].Date,
+		sparkChars[0], sparkChars[len(sparkChars)-1])
+	fmt.Fprintln(w, "| benchmark | first ns/op | latest ns/op | change | allocs/op | trend |")
+	fmt.Fprintln(w, "|---|---:|---:|---:|---:|---|")
+	latest := entries[len(entries)-1]
+	for _, r := range latest.Results {
+		series := make([]float64, len(entries))
+		for i, e := range entries {
+			for _, er := range e.Results {
+				if er.Name == r.Name {
+					series[i] = er.NsPerOp
+					break
+				}
+			}
+		}
+		firstNs := 0.0
+		for _, v := range series {
+			if v > 0 {
+				firstNs = v
+				break
+			}
+		}
+		change := "n/a"
+		if firstNs > 0 && r.NsPerOp > 0 {
+			change = fmt.Sprintf("%+.1f%%", (r.NsPerOp-firstNs)/firstNs*100)
+		}
+		allocs := "-"
+		if r.AllocsPerOp != nil {
+			allocs = strconv.FormatInt(*r.AllocsPerOp, 10)
+		}
+		fmt.Fprintf(w, "| %s | %.0f | %.0f | %s | %s | `%s` |\n",
+			r.Name, firstNs, r.NsPerOp, change, allocs, spark(series))
+	}
 }
 
 // allowed is the regression ceiling: baseline + pct% with an absolute

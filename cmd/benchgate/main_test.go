@@ -117,6 +117,57 @@ func TestGate(t *testing.T) {
 	}
 }
 
+func TestSpark(t *testing.T) {
+	cases := []struct {
+		name string
+		vals []float64
+		want string
+	}{
+		{"monotone speedup", []float64{800, 400, 100}, "#~."},
+		{"flat", []float64{100, 100, 100}, "---"},
+		{"absent entries blank", []float64{0, 200, 100}, " #."},
+		{"single point", []float64{42}, "-"},
+	}
+	for _, tc := range cases {
+		if got := spark(tc.vals); got != tc.want {
+			t.Errorf("%s: spark(%v) = %q, want %q", tc.name, tc.vals, got, tc.want)
+		}
+	}
+}
+
+func TestTrend(t *testing.T) {
+	entries := []Entry{
+		{Date: "legacy", Results: []Result{{Name: "BenchmarkA", NsPerOp: 200}}},
+		{Date: "2026-08-08", Results: []Result{
+			{Name: "BenchmarkA", NsPerOp: 100, AllocsPerOp: intp(0)},
+			{Name: "BenchmarkNew", NsPerOp: 50},
+		}},
+	}
+	var sb strings.Builder
+	trend(entries, "bench.json", &sb)
+	out := sb.String()
+	for _, want := range []string{
+		"2 entries, legacy → 2026-08-08",
+		"| benchmark | first ns/op | latest ns/op | change | allocs/op | trend |",
+		"| BenchmarkA | 200 | 100 | -50.0% | 0 | `#.` |",
+		// Absent in the first entry: first ns/op falls back to the
+		// earliest recorded value, sparkline leads with a blank.
+		"| BenchmarkNew | 50 | 50 | +0.0% | - | ` -` |",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trend output missing %q\ngot:\n%s", want, out)
+		}
+	}
+}
+
+func TestTrendEmptyHistory(t *testing.T) {
+	var sb strings.Builder
+	trend(nil, "bench.json", &sb)
+	if !strings.Contains(sb.String(), "nothing to trend") {
+		t.Errorf("empty-history trend output = %q", sb.String())
+	}
+}
+
 func TestGateNoAllocBaseline(t *testing.T) {
 	entries := []Entry{{Date: "legacy", Results: []Result{{Name: "BenchmarkA", NsPerOp: 1}}}}
 	var sb strings.Builder

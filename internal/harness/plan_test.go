@@ -1,0 +1,52 @@
+package harness
+
+import (
+	"reflect"
+	"testing"
+
+	"fp8quant/internal/evalx"
+	"fp8quant/internal/models"
+	"fp8quant/internal/quant"
+)
+
+// TestWithPlanPreservesResults runs the same sweep cell with and
+// without a pooled plan installed: results must be deeply equal (the
+// plan contract is byte-identical math, so even float fields match
+// exactly). The pooled plan is exercised twice to cover arena reuse
+// across cells.
+func TestWithPlanPreservesResults(t *testing.T) {
+	const name = "cifar_resnet20"
+	recipe := quant.StandardFP8(quant.E4M3)
+
+	netU, err := models.Build(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := evalx.EvaluateWithRef(netU, recipe, true, modelRef(name, netU))
+
+	for cell := 0; cell < 2; cell++ {
+		net, err := models.Build(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		release := withPlan(name, net)
+		got := evalx.EvaluateWithRef(net, recipe, true, modelRef(name, net))
+		release()
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("cell %d: planned result differs:\n got %+v\nwant %+v", cell, got, want)
+		}
+	}
+}
+
+// TestWithPlanNonPlannable checks token-driven models are left alone.
+func TestWithPlanNonPlannable(t *testing.T) {
+	net, err := models.Build("bert_base_mrpc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.Plannable() {
+		t.Fatal("bert_base_mrpc unexpectedly plannable")
+	}
+	release := withPlan("bert_base_mrpc", net)
+	release() // must be a harmless no-op
+}

@@ -1,0 +1,42 @@
+// Per-model execution-plan pool. A compiled plan's arenas are sized by
+// the model's forward footprint, which depends only on the architecture
+// and the (fixed per model) eval batch shape — so a plan warmed by one
+// sweep cell can be rebound to the next cell's freshly built network of
+// the same model and run with zero steady-state allocations. Pooling is
+// per model name; sync.Pool keeps one plan per concurrently running
+// cell without serializing the executor.
+
+package harness
+
+import (
+	"sync"
+
+	"fp8quant/internal/models"
+	"fp8quant/internal/nn"
+)
+
+var planPools sync.Map // model name -> *sync.Pool of *nn.Plan
+
+// withPlan installs a pooled execution plan on net (a no-op for
+// non-plannable models) and returns a release function that detaches
+// the plan and returns it to the pool. Planned forwards are
+// byte-identical to unplanned ones, so cell results are unaffected.
+func withPlan(name string, net *models.Network) func() {
+	if !net.Plannable() {
+		return func() {}
+	}
+	pi, _ := planPools.LoadOrStore(name, &sync.Pool{})
+	pool := pi.(*sync.Pool)
+	var p *nn.Plan
+	if v := pool.Get(); v != nil {
+		p = v.(*nn.Plan)
+	} else {
+		p = nn.NewPlan(nil)
+	}
+	net.InstallPlan(p)
+	return func() {
+		net.InstallPlan(nil)
+		p.Bind(nil) // do not keep the network reachable from the pool
+		pool.Put(p)
+	}
+}

@@ -37,13 +37,18 @@ func (a *audioNet) Visit(path string, v nn.Visitor) {
 // Forward transcribes a waveform batch [N,1,T] to frame logits pooled
 // to [N, classes].
 func (a *audioNet) Forward(x *tensor.Tensor) *tensor.Tensor {
+	return a.ForwardArena(nil, x)
+}
+
+// ForwardArena implements nn.ArenaForwarder.
+func (a *audioNet) ForwardArena(ar *tensor.Arena, x *tensor.Tensor) *tensor.Tensor {
 	var act nn.GELU
 	for _, c := range a.Convs {
-		x = act.Forward(c.Forward(x))
+		x = act.ForwardArena(ar, c.ForwardArena(ar, x))
 	}
 	// [N, D, T'] -> tokens [N, T', D]
 	n, d, t := x.Shape[0], x.Shape[1], x.Shape[2]
-	toks := tensor.New(n, t, d)
+	toks := ar.New(n, t, d)
 	for ni := 0; ni < n; ni++ {
 		for di := 0; di < d; di++ {
 			row := x.Data[(ni*d+di)*t : (ni*d+di+1)*t]
@@ -52,11 +57,11 @@ func (a *audioNet) Forward(x *tensor.Tensor) *tensor.Tensor {
 			}
 		}
 	}
-	toks = a.LN.Forward(toks)
+	toks = a.LN.ForwardArena(ar, toks)
 	for _, l := range a.Layers {
-		toks = l.Forward(toks)
+		toks = l.ForwardArena(ar, toks)
 	}
-	return a.Head.Forward(meanPoolSeq(toks))
+	return a.Head.ForwardArena(ar, meanPoolSeqArena(ar, toks))
 }
 
 func buildAudio(info Info, seed uint64, dim, layers, classes int, outlier float64) *Network {
@@ -86,11 +91,12 @@ func buildAudio(info Info, seed uint64, dim, layers, classes int, outlier float6
 	}
 	initLinear(net.Head, r)
 	return &Network{
-		Meta:    info,
-		root:    net,
-		fwd:     func(s data.Sample) *tensor.Tensor { return net.Forward(s.X) },
-		Data:    &data.AudioDataset{N: 8, T: 256, NumBatches: nlpBatches, Seed: seed ^ 0xA0D10},
-		Classes: classes,
+		Meta:      info,
+		root:      net,
+		fwd:       func(s data.Sample) *tensor.Tensor { return net.Forward(s.X) },
+		Data:      &data.AudioDataset{N: 8, T: 256, NumBatches: nlpBatches, Seed: seed ^ 0xA0D10},
+		Classes:   classes,
+		plannable: true,
 	}
 }
 

@@ -69,9 +69,14 @@ func (c *convBN) Visit(path string, v nn.Visitor) {
 
 // Forward runs conv → BN → act.
 func (c *convBN) Forward(x *tensor.Tensor) *tensor.Tensor {
-	x = c.BN.Forward(c.Conv.Forward(x))
+	return c.ForwardArena(nil, x)
+}
+
+// ForwardArena implements nn.ArenaForwarder.
+func (c *convBN) ForwardArena(a *tensor.Arena, x *tensor.Tensor) *tensor.Tensor {
+	x = c.BN.ForwardArena(a, c.Conv.ForwardArena(a, x))
 	if c.Act != nil {
-		x = c.Act.Forward(x)
+		x = nn.ForwardWith(a, c.Act, x)
 	}
 	return x
 }
@@ -93,9 +98,14 @@ func (b *inceptionBlock) Visit(path string, v nn.Visitor) {
 
 // Forward concatenates branch outputs along channels.
 func (b *inceptionBlock) Forward(x *tensor.Tensor) *tensor.Tensor {
-	out := b.Branches[0].Forward(x)
+	return b.ForwardArena(nil, x)
+}
+
+// ForwardArena implements nn.ArenaForwarder.
+func (b *inceptionBlock) ForwardArena(a *tensor.Arena, x *tensor.Tensor) *tensor.Tensor {
+	out := nn.ForwardWith(a, b.Branches[0], x)
 	for _, br := range b.Branches[1:] {
-		out = nn.ConcatChannels(out, br.Forward(x))
+		out = nn.ConcatChannelsArena(a, out, nn.ForwardWith(a, br, x))
 	}
 	return out
 }
@@ -117,8 +127,13 @@ func (f *fireBlock) Visit(path string, v nn.Visitor) {
 
 // Forward runs squeeze then concatenated 1x1/3x3 expands.
 func (f *fireBlock) Forward(x *tensor.Tensor) *tensor.Tensor {
-	s := f.Squeeze.Forward(x)
-	return nn.ConcatChannels(f.Expand1.Forward(s), f.Expand3.Forward(s))
+	return f.ForwardArena(nil, x)
+}
+
+// ForwardArena implements nn.ArenaForwarder.
+func (f *fireBlock) ForwardArena(a *tensor.Arena, x *tensor.Tensor) *tensor.Tensor {
+	s := f.Squeeze.ForwardArena(a, x)
+	return nn.ConcatChannelsArena(a, f.Expand1.ForwardArena(a, s), f.Expand3.ForwardArena(a, s))
 }
 
 // invertedResidual is the MobileNetV2/V3 and EfficientNet MBConv block:
@@ -152,17 +167,22 @@ func (b *invertedResidual) Visit(path string, v nn.Visitor) {
 
 // Forward runs the block.
 func (b *invertedResidual) Forward(x *tensor.Tensor) *tensor.Tensor {
+	return b.ForwardArena(nil, x)
+}
+
+// ForwardArena implements nn.ArenaForwarder.
+func (b *invertedResidual) ForwardArena(a *tensor.Arena, x *tensor.Tensor) *tensor.Tensor {
 	h := x
 	if b.Expand != nil {
-		h = b.Expand.Forward(h)
+		h = b.Expand.ForwardArena(a, h)
 	}
-	h = b.DW.Forward(h)
+	h = b.DW.ForwardArena(a, h)
 	if b.SE != nil {
-		h = b.SE.Forward(h)
+		h = b.SE.ForwardArena(a, h)
 	}
-	h = b.Project.Forward(h)
+	h = b.Project.ForwardArena(a, h)
 	if b.Skip != nil {
-		h = b.Skip.Apply(h, x)
+		h = b.Skip.ApplyArena(a, h, x)
 	}
 	return h
 }
@@ -205,8 +225,13 @@ func (d *denseBlock) Visit(path string, v nn.Visitor) {
 
 // Forward concatenates each layer's output onto its input.
 func (d *denseBlock) Forward(x *tensor.Tensor) *tensor.Tensor {
+	return d.ForwardArena(nil, x)
+}
+
+// ForwardArena implements nn.ArenaForwarder.
+func (d *denseBlock) ForwardArena(a *tensor.Arena, x *tensor.Tensor) *tensor.Tensor {
 	for _, l := range d.Layers {
-		x = nn.ConcatChannels(x, l.Forward(x))
+		x = nn.ConcatChannelsArena(a, x, l.ForwardArena(a, x))
 	}
 	return x
 }
@@ -229,6 +254,11 @@ func (c channelShuffle) Kind() string { return "ChannelShuffle" }
 
 // Forward interleaves channel groups.
 func (c channelShuffle) Forward(x *tensor.Tensor) *tensor.Tensor {
+	return c.ForwardArena(nil, x)
+}
+
+// ForwardArena implements nn.ArenaForwarder.
+func (c channelShuffle) ForwardArena(a *tensor.Arena, x *tensor.Tensor) *tensor.Tensor {
 	n, ch, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
 	g := c.Groups
 	if ch%g != 0 {
@@ -236,7 +266,7 @@ func (c channelShuffle) Forward(x *tensor.Tensor) *tensor.Tensor {
 	}
 	per := ch / g
 	hw := h * w
-	y := tensor.New(x.Shape...)
+	y := a.New(x.Shape...)
 	for ni := 0; ni < n; ni++ {
 		for ci := 0; ci < ch; ci++ {
 			src := x.Data[(ni*ch+ci)*hw : (ni*ch+ci+1)*hw]
@@ -275,11 +305,12 @@ func buildCNN(info Info, seed uint64, body func(r *tensor.RNG, seq *nn.Sequentia
 		})
 	}
 	net := &Network{
-		Meta:    info,
-		root:    seq,
-		fwd:     func(s data.Sample) *tensor.Tensor { return seq.Forward(s.X) },
-		Data:    cvDataset(seed ^ 0xDA7A),
-		Classes: classes,
+		Meta:      info,
+		root:      seq,
+		fwd:       func(s data.Sample) *tensor.Tensor { return seq.Forward(s.X) },
+		Data:      cvDataset(seed ^ 0xDA7A),
+		Classes:   classes,
+		plannable: true,
 	}
 	WarmBatchNorms(net, 4)
 	return net

@@ -110,6 +110,13 @@ type Network struct {
 	Classes int
 	// Eval selects the agreement metric.
 	Eval EvalKind
+	// plannable marks networks whose forward is a pure function of the
+	// dense input s.X through an ArenaForwarder root (CV/ViT/audio
+	// families); token- and bag-driven models (GPT, DLRM) are not.
+	plannable bool
+	// plan, when installed, routes Run through a compiled execution
+	// plan (preallocated scratch arenas, byte-identical math).
+	plan *nn.Plan
 }
 
 // Root implements quant.Model.
@@ -118,8 +125,30 @@ func (n *Network) Root() nn.Module { return n.root }
 // IsCNN implements quant.Model.
 func (n *Network) IsCNN() bool { return n.Meta.IsCNN }
 
+// Plannable reports whether the network's forward can run under a
+// compiled execution plan.
+func (n *Network) Plannable() bool { return n.plannable }
+
+// InstallPlan routes Run through p (binding p to the network's root);
+// installing nil restores the unplanned path. Outputs of a planned Run
+// are valid only until the next Run — Clone to retain.
+func (n *Network) InstallPlan(p *nn.Plan) {
+	if p != nil {
+		if !n.plannable {
+			panic(fmt.Sprintf("models: %s is not plannable", n.Meta.Name))
+		}
+		p.Bind(n.root)
+	}
+	n.plan = p
+}
+
 // Run implements quant.Model.
-func (n *Network) Run(s data.Sample) *tensor.Tensor { return n.fwd(s) }
+func (n *Network) Run(s data.Sample) *tensor.Tensor {
+	if n.plan != nil && s.X != nil {
+		return n.plan.Forward(s.X)
+	}
+	return n.fwd(s)
+}
 
 // Builder constructs a Network deterministically from a seed.
 type Builder func(seed uint64) *Network

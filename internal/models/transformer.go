@@ -72,8 +72,13 @@ func addTensors(a, b *tensor.Tensor) *tensor.Tensor {
 
 // meanPoolSeq averages [B,T,D] over T, returning [B,D].
 func meanPoolSeq(x *tensor.Tensor) *tensor.Tensor {
+	return meanPoolSeqArena(nil, x)
+}
+
+// meanPoolSeqArena is meanPoolSeq with the output carved from a.
+func meanPoolSeqArena(a *tensor.Arena, x *tensor.Tensor) *tensor.Tensor {
 	b, t, d := x.Shape[0], x.Shape[1], x.Shape[2]
-	y := tensor.New(b, d)
+	y := a.New(b, d)
 	inv := 1 / float32(t)
 	for bi := 0; bi < b; bi++ {
 		for ti := 0; ti < t; ti++ {

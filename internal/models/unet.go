@@ -36,15 +36,20 @@ func (u *unetNet) Visit(path string, v nn.Visitor) {
 // [N*H*W, classes] so the standard argmax-agreement evaluation applies
 // per pixel.
 func (u *unetNet) Forward(x *tensor.Tensor) *tensor.Tensor {
-	e1 := u.Enc1.Forward(x)                  // [N, c1, H, W]
-	e2 := u.Enc2.Forward(u.Pool.Forward(e1)) // [N, c2, H/2, W/2]
-	b := u.Bottleneck.Forward(e2)
-	d := u.Up.Forward(b) // back to [.., H, W]
-	d = nn.ConcatChannels(d, e1)
-	d = u.Dec1.Forward(d)
-	lg := u.OutConv.Forward(d) // [N, classes, H, W]
+	return u.ForwardArena(nil, x)
+}
+
+// ForwardArena implements nn.ArenaForwarder.
+func (u *unetNet) ForwardArena(a *tensor.Arena, x *tensor.Tensor) *tensor.Tensor {
+	e1 := nn.ForwardWith(a, u.Enc1, x)                          // [N, c1, H, W]
+	e2 := nn.ForwardWith(a, u.Enc2, u.Pool.ForwardArena(a, e1)) // [N, c2, H/2, W/2]
+	b := nn.ForwardWith(a, u.Bottleneck, e2)
+	d := u.Up.ForwardArena(a, b) // back to [.., H, W]
+	d = nn.ConcatChannelsArena(a, d, e1)
+	d = nn.ForwardWith(a, u.Dec1, d)
+	lg := u.OutConv.ForwardArena(a, d) // [N, classes, H, W]
 	n, c, h, w := lg.Shape[0], lg.Shape[1], lg.Shape[2], lg.Shape[3]
-	out := tensor.New(n*h*w, c)
+	out := a.New(n*h*w, c)
 	for ni := 0; ni < n; ni++ {
 		for ci := 0; ci < c; ci++ {
 			plane := lg.Data[(ni*c+ci)*h*w : (ni*c+ci+1)*h*w]
@@ -73,8 +78,13 @@ func (g *groupNormConv) Visit(path string, v nn.Visitor) {
 
 // Forward runs the unit.
 func (g *groupNormConv) Forward(x *tensor.Tensor) *tensor.Tensor {
+	return g.ForwardArena(nil, x)
+}
+
+// ForwardArena implements nn.ArenaForwarder.
+func (g *groupNormConv) ForwardArena(a *tensor.Arena, x *tensor.Tensor) *tensor.Tensor {
 	var act nn.SiLU
-	return act.Forward(g.GN.Forward(g.Conv.Forward(x)))
+	return act.ForwardArena(a, g.GN.ForwardArena(a, g.Conv.ForwardArena(a, x)))
 }
 
 func newGNConv(r *tensor.RNG, inC, outC int) *groupNormConv {
@@ -108,11 +118,12 @@ func buildUNet(info Info, seed uint64, classes int, diffusionStyle bool) *Networ
 		OutConv: out, Pool: &nn.MaxPool2d{K: 2, Stride: 2}, classes: classes,
 	}
 	n := &Network{
-		Meta:    info,
-		root:    net,
-		fwd:     func(s data.Sample) *tensor.Tensor { return net.Forward(s.X) },
-		Data:    cvDataset(seed ^ 0x0E7),
-		Classes: classes,
+		Meta:      info,
+		root:      net,
+		fwd:       func(s data.Sample) *tensor.Tensor { return net.Forward(s.X) },
+		Data:      cvDataset(seed ^ 0x0E7),
+		Classes:   classes,
+		plannable: true,
 	}
 	WarmBatchNorms(n, 4)
 	return n

@@ -34,10 +34,15 @@ func (v *vitNet) Visit(path string, vis nn.Visitor) {
 
 // Forward classifies an image batch [N,C,H,W].
 func (v *vitNet) Forward(x *tensor.Tensor) *tensor.Tensor {
-	p := v.Patch.Forward(x) // [N, D, h, w]
+	return v.ForwardArena(nil, x)
+}
+
+// ForwardArena implements nn.ArenaForwarder.
+func (v *vitNet) ForwardArena(a *tensor.Arena, x *tensor.Tensor) *tensor.Tensor {
+	p := v.Patch.ForwardArena(a, x) // [N, D, h, w]
 	n, d, h, w := p.Shape[0], p.Shape[1], p.Shape[2], p.Shape[3]
 	// To token sequence [N, h*w, D].
-	toks := tensor.New(n, h*w, d)
+	toks := a.New(n, h*w, d)
 	for ni := 0; ni < n; ni++ {
 		for di := 0; di < d; di++ {
 			plane := p.Data[(ni*d+di)*h*w : (ni*d+di+1)*h*w]
@@ -46,11 +51,11 @@ func (v *vitNet) Forward(x *tensor.Tensor) *tensor.Tensor {
 			}
 		}
 	}
-	toks = v.Pos.Forward(toks)
+	toks = v.Pos.ForwardArena(a, toks)
 	for _, l := range v.Layers {
-		toks = l.Forward(toks)
+		toks = l.ForwardArena(a, toks)
 	}
-	return v.Head.Forward(meanPoolSeq(toks))
+	return v.Head.ForwardArena(a, meanPoolSeqArena(a, toks))
 }
 
 func buildViT(info Info, seed uint64, dim, heads, ff, layers, classes int, window int) *Network {
@@ -80,11 +85,12 @@ func buildViT(info Info, seed uint64, dim, heads, ff, layers, classes int, windo
 	}
 	initLinear(net.Head, r)
 	return &Network{
-		Meta:    info,
-		root:    net,
-		fwd:     func(s data.Sample) *tensor.Tensor { return net.Forward(s.X) },
-		Data:    cvDataset(seed ^ 0x517),
-		Classes: classes,
+		Meta:      info,
+		root:      net,
+		fwd:       func(s data.Sample) *tensor.Tensor { return net.Forward(s.X) },
+		Data:      cvDataset(seed ^ 0x517),
+		Classes:   classes,
+		plannable: true,
 	}
 }
 

@@ -13,8 +13,11 @@ type ReLU struct{}
 func (ReLU) Kind() string { return "ReLU" }
 
 // Forward applies the activation.
-func (ReLU) Forward(x *tensor.Tensor) *tensor.Tensor {
-	y := x.Clone()
+func (r ReLU) Forward(x *tensor.Tensor) *tensor.Tensor { return r.ForwardArena(nil, x) }
+
+// ForwardArena implements ArenaForwarder.
+func (ReLU) ForwardArena(a *tensor.Arena, x *tensor.Tensor) *tensor.Tensor {
+	y := cloneInto(a, x)
 	for i, v := range y.Data {
 		if v < 0 {
 			y.Data[i] = 0
@@ -31,8 +34,11 @@ type GELU struct{}
 func (GELU) Kind() string { return "GELU" }
 
 // Forward applies the activation.
-func (GELU) Forward(x *tensor.Tensor) *tensor.Tensor {
-	y := x.Clone()
+func (g GELU) Forward(x *tensor.Tensor) *tensor.Tensor { return g.ForwardArena(nil, x) }
+
+// ForwardArena implements ArenaForwarder.
+func (GELU) ForwardArena(a *tensor.Arena, x *tensor.Tensor) *tensor.Tensor {
+	y := cloneInto(a, x)
 	const c = 0.7978845608028654 // sqrt(2/pi)
 	for i, v := range y.Data {
 		f := float64(v)
@@ -49,8 +55,11 @@ type SiLU struct{}
 func (SiLU) Kind() string { return "SiLU" }
 
 // Forward applies the activation.
-func (SiLU) Forward(x *tensor.Tensor) *tensor.Tensor {
-	y := x.Clone()
+func (s SiLU) Forward(x *tensor.Tensor) *tensor.Tensor { return s.ForwardArena(nil, x) }
+
+// ForwardArena implements ArenaForwarder.
+func (SiLU) ForwardArena(a *tensor.Arena, x *tensor.Tensor) *tensor.Tensor {
+	y := cloneInto(a, x)
 	for i, v := range y.Data {
 		f := float64(v)
 		y.Data[i] = float32(f / (1 + math.Exp(-f)))
@@ -65,8 +74,11 @@ type Sigmoid struct{}
 func (Sigmoid) Kind() string { return "Sigmoid" }
 
 // Forward applies the activation.
-func (Sigmoid) Forward(x *tensor.Tensor) *tensor.Tensor {
-	y := x.Clone()
+func (s Sigmoid) Forward(x *tensor.Tensor) *tensor.Tensor { return s.ForwardArena(nil, x) }
+
+// ForwardArena implements ArenaForwarder.
+func (Sigmoid) ForwardArena(a *tensor.Arena, x *tensor.Tensor) *tensor.Tensor {
+	y := cloneInto(a, x)
 	for i, v := range y.Data {
 		y.Data[i] = float32(1 / (1 + math.Exp(-float64(v))))
 	}
@@ -80,8 +92,11 @@ type Tanh struct{}
 func (Tanh) Kind() string { return "Tanh" }
 
 // Forward applies the activation.
-func (Tanh) Forward(x *tensor.Tensor) *tensor.Tensor {
-	y := x.Clone()
+func (t Tanh) Forward(x *tensor.Tensor) *tensor.Tensor { return t.ForwardArena(nil, x) }
+
+// ForwardArena implements ArenaForwarder.
+func (Tanh) ForwardArena(a *tensor.Arena, x *tensor.Tensor) *tensor.Tensor {
+	y := cloneInto(a, x)
 	for i, v := range y.Data {
 		y.Data[i] = float32(math.Tanh(float64(v)))
 	}
@@ -95,8 +110,11 @@ type HardSwish struct{}
 func (HardSwish) Kind() string { return "HardSwish" }
 
 // Forward applies the activation.
-func (HardSwish) Forward(x *tensor.Tensor) *tensor.Tensor {
-	y := x.Clone()
+func (h HardSwish) Forward(x *tensor.Tensor) *tensor.Tensor { return h.ForwardArena(nil, x) }
+
+// ForwardArena implements ArenaForwarder.
+func (HardSwish) ForwardArena(a *tensor.Arena, x *tensor.Tensor) *tensor.Tensor {
+	y := cloneInto(a, x)
 	for i, v := range y.Data {
 		r := v + 3
 		if r < 0 {
@@ -116,8 +134,11 @@ type Softmax struct{}
 func (Softmax) Kind() string { return "Softmax" }
 
 // Forward applies a numerically-stable softmax over the last dim.
-func (Softmax) Forward(x *tensor.Tensor) *tensor.Tensor {
-	y := tensor.New(x.Shape...)
+func (s Softmax) Forward(x *tensor.Tensor) *tensor.Tensor { return s.ForwardArena(nil, x) }
+
+// ForwardArena implements ArenaForwarder.
+func (Softmax) ForwardArena(a *tensor.Arena, x *tensor.Tensor) *tensor.Tensor {
+	y := a.New(x.Shape...)
 	SoftmaxInto(y.Data, x.Data, x.Shape[x.Rank()-1])
 	return y
 }
@@ -167,12 +188,17 @@ func (a *AddOp) Forward(x *tensor.Tensor) *tensor.Tensor {
 
 // Apply returns x + y element-wise.
 func (a *AddOp) Apply(x, y *tensor.Tensor) *tensor.Tensor {
+	return a.ApplyArena(nil, x, y)
+}
+
+// ApplyArena is Apply with the output carved from ar.
+func (a *AddOp) ApplyArena(ar *tensor.Arena, x, y *tensor.Tensor) *tensor.Tensor {
 	if x.Len() != y.Len() {
 		panic("nn: AddOp size mismatch")
 	}
-	x = a.QA.applyIn(x)
-	y = a.QB.applyIn(y)
-	out := tensor.New(x.Shape...)
+	x = a.QA.applyIn(ar, x)
+	y = a.QB.applyIn(ar, y)
+	out := ar.New(x.Shape...)
 	for i := range out.Data {
 		out.Data[i] = x.Data[i] + y.Data[i]
 	}
@@ -199,9 +225,14 @@ func (m *MulOp) Forward(x *tensor.Tensor) *tensor.Tensor {
 // leading row of x (e.g. per-channel SE scale [N,C] against [N,C,H,W]),
 // it broadcasts.
 func (m *MulOp) Apply(x, y *tensor.Tensor) *tensor.Tensor {
-	x = m.QA.applyIn(x)
-	y = m.QB.applyIn(y)
-	out := tensor.New(x.Shape...)
+	return m.ApplyArena(nil, x, y)
+}
+
+// ApplyArena is Apply with the output carved from ar.
+func (m *MulOp) ApplyArena(ar *tensor.Arena, x, y *tensor.Tensor) *tensor.Tensor {
+	x = m.QA.applyIn(ar, x)
+	y = m.QB.applyIn(ar, y)
+	out := ar.New(x.Shape...)
 	switch {
 	case x.Len() == y.Len():
 		for i := range out.Data {

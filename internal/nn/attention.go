@@ -53,28 +53,33 @@ func (a *MultiHeadAttention) Visit(path string, v Visitor) {
 
 // Forward runs self-attention over x [B,T,D].
 func (a *MultiHeadAttention) Forward(x *tensor.Tensor) *tensor.Tensor {
+	return a.ForwardArena(nil, x)
+}
+
+// ForwardArena implements ArenaForwarder.
+func (a *MultiHeadAttention) ForwardArena(ar *tensor.Arena, x *tensor.Tensor) *tensor.Tensor {
 	if x.Rank() != 3 || x.Shape[2] != a.Dim {
 		panic(fmt.Sprintf("nn: attention expects [B,T,%d], got %v", a.Dim, x.Shape))
 	}
 	b, t := x.Shape[0], x.Shape[1]
 	hd := a.Dim / a.Heads
 
-	q := splitHeads(a.WQ.Forward(x), a.Heads) // [B,H,T,hd]
-	k := splitHeads(a.WK.Forward(x), a.Heads)
-	v := splitHeads(a.WV.Forward(x), a.Heads)
+	q := splitHeads(ar, a.WQ.ForwardArena(ar, x), a.Heads) // [B,H,T,hd]
+	k := splitHeads(ar, a.WK.ForwardArena(ar, x), a.Heads)
+	v := splitHeads(ar, a.WV.ForwardArena(ar, x), a.Heads)
 
-	scores := a.QK.Apply(q, k) // [B,H,T,T]
+	scores := a.QK.ApplyArena(ar, q, k) // [B,H,T,T]
 	scale := float32(1 / math.Sqrt(float64(hd)))
 	for i := range scores.Data {
 		scores.Data[i] *= scale
 	}
 	a.mask(scores, b, t)
 
-	probs := tensor.New(scores.Shape...)
+	probs := ar.New(scores.Shape...)
 	SoftmaxInto(probs.Data, scores.Data, t)
 
-	ctx := a.PV.Apply(probs, v) // [B,H,T,hd]
-	return a.WO.Forward(mergeHeads(ctx))
+	ctx := a.PV.ApplyArena(ar, probs, v) // [B,H,T,hd]
+	return a.WO.ForwardArena(ar, mergeHeads(ar, ctx))
 }
 
 // mask applies causal and/or sliding-window masking in place.
@@ -107,10 +112,10 @@ func abs(x int) int {
 }
 
 // splitHeads reshapes [B,T,D] to [B,H,T,D/H].
-func splitHeads(x *tensor.Tensor, heads int) *tensor.Tensor {
+func splitHeads(a *tensor.Arena, x *tensor.Tensor, heads int) *tensor.Tensor {
 	b, t, d := x.Shape[0], x.Shape[1], x.Shape[2]
 	hd := d / heads
-	y := tensor.New(b, heads, t, hd)
+	y := a.New(b, heads, t, hd)
 	for bi := 0; bi < b; bi++ {
 		for ti := 0; ti < t; ti++ {
 			for h := 0; h < heads; h++ {
@@ -124,10 +129,10 @@ func splitHeads(x *tensor.Tensor, heads int) *tensor.Tensor {
 }
 
 // mergeHeads reshapes [B,H,T,hd] back to [B,T,D].
-func mergeHeads(x *tensor.Tensor) *tensor.Tensor {
+func mergeHeads(a *tensor.Arena, x *tensor.Tensor) *tensor.Tensor {
 	b, heads, t, hd := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
 	d := heads * hd
-	y := tensor.New(b, t, d)
+	y := a.New(b, t, d)
 	for bi := 0; bi < b; bi++ {
 		for h := 0; h < heads; h++ {
 			for ti := 0; ti < t; ti++ {
@@ -161,9 +166,9 @@ func (c *CrossAttention) Attend(x, mem *tensor.Tensor) *tensor.Tensor {
 	tk := mem.Shape[1]
 	hd := c.Dim / c.Heads
 
-	q := splitHeads(c.WQ.Forward(x), c.Heads)
-	k := splitHeads(c.WK.Forward(mem), c.Heads)
-	v := splitHeads(c.WV.Forward(mem), c.Heads)
+	q := splitHeads(nil, c.WQ.Forward(x), c.Heads)
+	k := splitHeads(nil, c.WK.Forward(mem), c.Heads)
+	v := splitHeads(nil, c.WV.Forward(mem), c.Heads)
 
 	scores := c.QK.Apply(q, k) // [B,H,Tq,Tk]
 	scale := float32(1 / math.Sqrt(float64(hd)))
@@ -175,5 +180,5 @@ func (c *CrossAttention) Attend(x, mem *tensor.Tensor) *tensor.Tensor {
 	ctx := c.PV.Apply(probs, v)
 	_ = b
 	_ = tq
-	return c.WO.Forward(mergeHeads(ctx))
+	return c.WO.Forward(mergeHeads(nil, ctx))
 }

@@ -49,6 +49,17 @@ func (s *Sequential) Forward(x *tensor.Tensor) *tensor.Tensor {
 	return x
 }
 
+// ForwardArena implements ArenaForwarder: every child runs against the
+// same arena. (Plan.Forward additionally ping-pongs two arenas across
+// the top-level chain so dead intermediates are reclaimed; inside a
+// single child the one-arena chain is used.)
+func (s *Sequential) ForwardArena(a *tensor.Arena, x *tensor.Tensor) *tensor.Tensor {
+	for _, m := range s.Modules {
+		x = ForwardWith(a, m, x)
+	}
+	return x
+}
+
 // ResidualBlock is the ResNet basic block: two 3×3 convs with
 // BatchNorm and an additive skip (1×1 projection when shapes change).
 type ResidualBlock struct {
@@ -92,15 +103,18 @@ func (b *ResidualBlock) Visit(path string, v Visitor) {
 }
 
 // Forward runs the block with ReLU activations.
-func (b *ResidualBlock) Forward(x *tensor.Tensor) *tensor.Tensor {
+func (b *ResidualBlock) Forward(x *tensor.Tensor) *tensor.Tensor { return b.ForwardArena(nil, x) }
+
+// ForwardArena implements ArenaForwarder.
+func (b *ResidualBlock) ForwardArena(a *tensor.Arena, x *tensor.Tensor) *tensor.Tensor {
 	var relu ReLU
-	h := relu.Forward(b.BN1.Forward(b.Conv1.Forward(x)))
-	h = b.BN2.Forward(b.Conv2.Forward(h))
+	h := relu.ForwardArena(a, b.BN1.ForwardArena(a, b.Conv1.ForwardArena(a, x)))
+	h = b.BN2.ForwardArena(a, b.Conv2.ForwardArena(a, h))
 	skip := x
 	if b.Proj != nil {
-		skip = b.ProjBN.Forward(b.Proj.Forward(x))
+		skip = b.ProjBN.ForwardArena(a, b.Proj.ForwardArena(a, x))
 	}
-	return relu.Forward(b.Skip.Apply(h, skip))
+	return relu.ForwardArena(a, b.Skip.ApplyArena(a, h, skip))
 }
 
 // SEBlock is a squeeze-and-excitation channel-attention block
@@ -134,12 +148,15 @@ func (s *SEBlock) Visit(path string, v Visitor) {
 }
 
 // Forward scales channels of x [N,C,H,W] by learned gates.
-func (s *SEBlock) Forward(x *tensor.Tensor) *tensor.Tensor {
+func (s *SEBlock) Forward(x *tensor.Tensor) *tensor.Tensor { return s.ForwardArena(nil, x) }
+
+// ForwardArena implements ArenaForwarder.
+func (s *SEBlock) ForwardArena(a *tensor.Arena, x *tensor.Tensor) *tensor.Tensor {
 	var relu ReLU
 	var sig Sigmoid
-	z := s.Squeeze.Forward(x) // [N,C]
-	z = sig.Forward(s.FC2.Forward(relu.Forward(s.FC1.Forward(z))))
-	return s.Gate.Apply(x, z)
+	z := s.Squeeze.ForwardArena(a, x) // [N,C]
+	z = sig.ForwardArena(a, s.FC2.ForwardArena(a, relu.ForwardArena(a, s.FC1.ForwardArena(a, z))))
+	return s.Gate.ApplyArena(a, x, z)
 }
 
 // FFN is the transformer feed-forward block: fc1 → activation → fc2.
@@ -163,8 +180,11 @@ func (f *FFN) Visit(path string, v Visitor) {
 }
 
 // Forward runs the block.
-func (f *FFN) Forward(x *tensor.Tensor) *tensor.Tensor {
-	return f.FC2.Forward(f.Act.Forward(f.FC1.Forward(x)))
+func (f *FFN) Forward(x *tensor.Tensor) *tensor.Tensor { return f.ForwardArena(nil, x) }
+
+// ForwardArena implements ArenaForwarder.
+func (f *FFN) ForwardArena(a *tensor.Arena, x *tensor.Tensor) *tensor.Tensor {
+	return f.FC2.ForwardArena(a, ForwardWith(a, f.Act, f.FC1.ForwardArena(a, x)))
 }
 
 // SwiGLU is the gated feed-forward used by LLaMA: (SiLU(xW1) * xW3)W2.
@@ -192,9 +212,13 @@ func (s *SwiGLU) Visit(path string, v Visitor) {
 }
 
 // Forward runs the gated block.
-func (s *SwiGLU) Forward(x *tensor.Tensor) *tensor.Tensor {
+func (s *SwiGLU) Forward(x *tensor.Tensor) *tensor.Tensor { return s.ForwardArena(nil, x) }
+
+// ForwardArena implements ArenaForwarder.
+func (s *SwiGLU) ForwardArena(a *tensor.Arena, x *tensor.Tensor) *tensor.Tensor {
 	var silu SiLU
-	return s.W2.Forward(s.Gate.Apply(silu.Forward(s.W1.Forward(x)), s.W3.Forward(x)))
+	return s.W2.ForwardArena(a,
+		s.Gate.ApplyArena(a, silu.ForwardArena(a, s.W1.ForwardArena(a, x)), s.W3.ForwardArena(a, x)))
 }
 
 // TransformerEncoderLayer is a post-norm encoder block (BERT style):
@@ -231,8 +255,13 @@ func (l *TransformerEncoderLayer) Visit(path string, v Visitor) {
 
 // Forward runs the layer.
 func (l *TransformerEncoderLayer) Forward(x *tensor.Tensor) *tensor.Tensor {
-	x = l.LN1.Forward(l.Res1.Apply(x, l.Attn.Forward(x)))
-	return l.LN2.Forward(l.Res2.Apply(x, l.FF.Forward(x)))
+	return l.ForwardArena(nil, x)
+}
+
+// ForwardArena implements ArenaForwarder.
+func (l *TransformerEncoderLayer) ForwardArena(a *tensor.Arena, x *tensor.Tensor) *tensor.Tensor {
+	x = l.LN1.ForwardArena(a, l.Res1.ApplyArena(a, x, l.Attn.ForwardArena(a, x)))
+	return l.LN2.ForwardArena(a, l.Res2.ApplyArena(a, x, l.FF.ForwardArena(a, x)))
 }
 
 // TransformerDecoderLayer is a pre-norm causal decoder block (GPT
@@ -283,8 +312,13 @@ func (l *TransformerDecoderLayer) Visit(path string, v Visitor) {
 
 // Forward runs the layer.
 func (l *TransformerDecoderLayer) Forward(x *tensor.Tensor) *tensor.Tensor {
-	x = l.Res1.Apply(x, l.Attn.Forward(l.LN1.Forward(x)))
-	return l.Res2.Apply(x, l.FF.Forward(l.LN2.Forward(x)))
+	return l.ForwardArena(nil, x)
+}
+
+// ForwardArena implements ArenaForwarder.
+func (l *TransformerDecoderLayer) ForwardArena(a *tensor.Arena, x *tensor.Tensor) *tensor.Tensor {
+	x = l.Res1.ApplyArena(a, x, ForwardWith(a, l.Attn, ForwardWith(a, l.LN1, x)))
+	return l.Res2.ApplyArena(a, x, ForwardWith(a, l.FF, ForwardWith(a, l.LN2, x)))
 }
 
 // DepthwiseSeparable is the MobileNet building block: depthwise 3×3
@@ -319,6 +353,11 @@ func (d *DepthwiseSeparable) Visit(path string, v Visitor) {
 
 // Forward runs the block.
 func (d *DepthwiseSeparable) Forward(x *tensor.Tensor) *tensor.Tensor {
-	x = d.Act.Forward(d.BN1.Forward(d.DW.Forward(x)))
-	return d.Act.Forward(d.BN2.Forward(d.PW.Forward(x)))
+	return d.ForwardArena(nil, x)
+}
+
+// ForwardArena implements ArenaForwarder.
+func (d *DepthwiseSeparable) ForwardArena(a *tensor.Arena, x *tensor.Tensor) *tensor.Tensor {
+	x = ForwardWith(a, d.Act, d.BN1.ForwardArena(a, d.DW.ForwardArena(a, x)))
+	return ForwardWith(a, d.Act, d.BN2.ForwardArena(a, d.PW.ForwardArena(a, x)))
 }

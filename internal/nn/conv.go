@@ -63,18 +63,22 @@ func (c *Conv2d) OutSize(n int) int {
 // the same (ic, ky, kx) order from a bias-seeded accumulator, so the
 // result is bit-identical to the all-direct reference (forwardDirect),
 // which the differential tests pin it against.
-func (c *Conv2d) Forward(x *tensor.Tensor) *tensor.Tensor {
+func (c *Conv2d) Forward(x *tensor.Tensor) *tensor.Tensor { return c.ForwardArena(nil, x) }
+
+// ForwardArena implements ArenaForwarder: the output, the im2col
+// patch/scratch buffers and the packed weight panel all carve from a.
+func (c *Conv2d) ForwardArena(a *tensor.Arena, x *tensor.Tensor) *tensor.Tensor {
 	if x.Rank() != 4 || x.Shape[1] != c.InC {
 		panic(fmt.Sprintf("nn: Conv2d expects [N,%d,H,W], got %v", c.InC, x.Shape))
 	}
-	x = c.QS.applyIn(x)
+	x = c.QS.applyIn(a, x)
 	n, h, w := x.Shape[0], x.Shape[2], x.Shape[3]
 	oh, ow := c.OutSize(h), c.OutSize(w)
 	if oh <= 0 || ow <= 0 {
 		panic(fmt.Sprintf("nn: Conv2d output empty for input %v", x.Shape))
 	}
-	y := tensor.New(n, c.OutC, oh, ow)
-	c.forwardInto(y, x, n, h, w, oh, ow)
+	y := a.New(n, c.OutC, oh, ow)
+	c.forwardInto(a, y, x, n, h, w, oh, ow)
 	return c.QS.applyOut(y)
 }
 
@@ -103,7 +107,7 @@ func (c *Conv2d) interior(h, w, oh, ow int) (y0, y1, x0, x1 int) {
 
 // forwardInto dispatches between the im2col+GEMM interior and the
 // direct border path.
-func (c *Conv2d) forwardInto(y, x *tensor.Tensor, n, h, w, oh, ow int) {
+func (c *Conv2d) forwardInto(a *tensor.Arena, y, x *tensor.Tensor, n, h, w, oh, ow int) {
 	y0, y1, x0, x1 := c.interior(h, w, oh, ow)
 	npix := (y1 - y0) * (x1 - x0)
 	icg := c.InC / c.Groups
@@ -115,6 +119,32 @@ func (c *Conv2d) forwardInto(y, x *tensor.Tensor, n, h, w, oh, ow int) {
 	// performance dispatch.
 	if npix == 0 || ocg*kdim < 64 {
 		c.forwardDirect(y, x, n, h, w, oh, ow)
+		return
+	}
+
+	if a != nil {
+		// Arena path: same buffers, same GEMMs, carved instead of
+		// pooled, run serially (plan-per-worker parallelism).
+		patches := a.Alloc(npix * kdim)
+		scratch := a.Alloc(npix * ocg)
+		panel := a.Alloc(kernels.PanelFloats(kdim, ocg))
+		for g := 0; g < c.Groups; g++ {
+			var bias []float32
+			if c.B != nil {
+				bias = c.B[g*ocg : (g+1)*ocg]
+			}
+			wg := c.W.Data[g*ocg*kdim : (g+1)*ocg*kdim]
+			kernels.PackTInto(panel, wg, kdim, ocg)
+			for ni := 0; ni < n; ni++ {
+				c.im2col(patches, x, ni, g, h, w, y0, y1, x0, x1)
+				kernels.GemmPacked(scratch, patches, panel, npix, kdim, ocg,
+					kernels.Opt{Bias: bias, Prologue: true, Serial: true})
+				c.scatter(y, scratch, ni, g, oh, ow, y0, y1, x0, x1)
+			}
+		}
+		if y1-y0 < oh || x1-x0 < ow {
+			c.forwardBorder(y, x, n, h, w, oh, ow, y0, y1, x0, x1)
+		}
 		return
 	}
 
@@ -276,7 +306,12 @@ func (p *MaxPool2d) Kind() string { return "MaxPool2d" }
 
 // Forward pools x [N,C,H,W].
 func (p *MaxPool2d) Forward(x *tensor.Tensor) *tensor.Tensor {
-	return pool2d(x, p.K, p.Stride, true)
+	return pool2d(nil, x, p.K, p.Stride, true)
+}
+
+// ForwardArena implements ArenaForwarder.
+func (p *MaxPool2d) ForwardArena(a *tensor.Arena, x *tensor.Tensor) *tensor.Tensor {
+	return pool2d(a, x, p.K, p.Stride, true)
 }
 
 // AvgPool2d averages over K×K windows.
@@ -289,17 +324,22 @@ func (p *AvgPool2d) Kind() string { return "AvgPool2d" }
 
 // Forward pools x [N,C,H,W].
 func (p *AvgPool2d) Forward(x *tensor.Tensor) *tensor.Tensor {
-	return pool2d(x, p.K, p.Stride, false)
+	return pool2d(nil, x, p.K, p.Stride, false)
 }
 
-func pool2d(x *tensor.Tensor, k, stride int, max bool) *tensor.Tensor {
+// ForwardArena implements ArenaForwarder.
+func (p *AvgPool2d) ForwardArena(a *tensor.Arena, x *tensor.Tensor) *tensor.Tensor {
+	return pool2d(a, x, p.K, p.Stride, false)
+}
+
+func pool2d(a *tensor.Arena, x *tensor.Tensor, k, stride int, max bool) *tensor.Tensor {
 	if x.Rank() != 4 {
 		panic("nn: pooling expects NCHW")
 	}
 	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
 	oh := (h-k)/stride + 1
 	ow := (w-k)/stride + 1
-	y := tensor.New(n, c, oh, ow)
+	y := a.New(n, c, oh, ow)
 	area := float32(k * k)
 	for ni := 0; ni < n; ni++ {
 		for ci := 0; ci < c; ci++ {
@@ -349,12 +389,15 @@ type GlobalAvgPool struct{}
 func (GlobalAvgPool) Kind() string { return "GlobalAvgPool" }
 
 // Forward averages each channel plane.
-func (GlobalAvgPool) Forward(x *tensor.Tensor) *tensor.Tensor {
+func (g GlobalAvgPool) Forward(x *tensor.Tensor) *tensor.Tensor { return g.ForwardArena(nil, x) }
+
+// ForwardArena implements ArenaForwarder.
+func (GlobalAvgPool) ForwardArena(a *tensor.Arena, x *tensor.Tensor) *tensor.Tensor {
 	if x.Rank() != 4 {
 		panic("nn: GlobalAvgPool expects NCHW")
 	}
 	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
-	y := tensor.New(n, c)
+	y := a.New(n, c)
 	area := float32(h * w)
 	for ni := 0; ni < n; ni++ {
 		for ci := 0; ci < c; ci++ {
@@ -376,8 +419,12 @@ type Flatten struct{}
 func (Flatten) Kind() string { return "Flatten" }
 
 // Forward flattens all but the leading dimension.
-func (Flatten) Forward(x *tensor.Tensor) *tensor.Tensor {
-	return x.Reshape(x.Shape[0], x.Len()/x.Shape[0])
+func (f Flatten) Forward(x *tensor.Tensor) *tensor.Tensor { return f.ForwardArena(nil, x) }
+
+// ForwardArena implements ArenaForwarder: the reshaped view's header
+// carves from the arena; the data is shared with x either way.
+func (Flatten) ForwardArena(a *tensor.Arena, x *tensor.Tensor) *tensor.Tensor {
+	return a.View(x.Data, x.Shape[0], x.Len()/x.Shape[0])
 }
 
 // Upsample2x nearest-neighbour upsamples [N,C,H,W] to [N,C,2H,2W]
@@ -388,9 +435,12 @@ type Upsample2x struct{}
 func (Upsample2x) Kind() string { return "Upsample2x" }
 
 // Forward duplicates each pixel into a 2×2 block.
-func (Upsample2x) Forward(x *tensor.Tensor) *tensor.Tensor {
+func (u Upsample2x) Forward(x *tensor.Tensor) *tensor.Tensor { return u.ForwardArena(nil, x) }
+
+// ForwardArena implements ArenaForwarder.
+func (Upsample2x) ForwardArena(a *tensor.Arena, x *tensor.Tensor) *tensor.Tensor {
 	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
-	y := tensor.New(n, c, 2*h, 2*w)
+	y := a.New(n, c, 2*h, 2*w)
 	for ni := 0; ni < n; ni++ {
 		for ci := 0; ci < c; ci++ {
 			src := x.Data[(ni*c+ci)*h*w:]
@@ -412,13 +462,18 @@ func (Upsample2x) Forward(x *tensor.Tensor) *tensor.Tensor {
 // ConcatChannels concatenates two NCHW tensors along the channel dim
 // (U-Net skip connections).
 func ConcatChannels(a, b *tensor.Tensor) *tensor.Tensor {
+	return ConcatChannelsArena(nil, a, b)
+}
+
+// ConcatChannelsArena is ConcatChannels with the output carved from ar.
+func ConcatChannelsArena(ar *tensor.Arena, a, b *tensor.Tensor) *tensor.Tensor {
 	if a.Rank() != 4 || b.Rank() != 4 || a.Shape[0] != b.Shape[0] ||
 		a.Shape[2] != b.Shape[2] || a.Shape[3] != b.Shape[3] {
 		panic(fmt.Sprintf("nn: ConcatChannels shape mismatch %v vs %v", a.Shape, b.Shape))
 	}
 	n, ca, cb := a.Shape[0], a.Shape[1], b.Shape[1]
 	h, w := a.Shape[2], a.Shape[3]
-	y := tensor.New(n, ca+cb, h, w)
+	y := ar.New(n, ca+cb, h, w)
 	hw := h * w
 	for ni := 0; ni < n; ni++ {
 		copy(y.Data[ni*(ca+cb)*hw:], a.Data[ni*ca*hw:(ni+1)*ca*hw])

@@ -47,17 +47,20 @@ func (c *Conv1d) OutChannelDim() int { return 0 }
 func (c *Conv1d) OutSize(t int) int { return (t+2*c.Pad-c.K)/c.Stride + 1 }
 
 // Forward convolves x [N, InC, T] producing [N, OutC, T'].
-func (c *Conv1d) Forward(x *tensor.Tensor) *tensor.Tensor {
+func (c *Conv1d) Forward(x *tensor.Tensor) *tensor.Tensor { return c.ForwardArena(nil, x) }
+
+// ForwardArena implements ArenaForwarder.
+func (c *Conv1d) ForwardArena(a *tensor.Arena, x *tensor.Tensor) *tensor.Tensor {
 	if x.Rank() != 3 || x.Shape[1] != c.InC {
 		panic(fmt.Sprintf("nn: Conv1d expects [N,%d,T], got %v", c.InC, x.Shape))
 	}
-	x = c.QS.applyIn(x)
+	x = c.QS.applyIn(a, x)
 	n, t := x.Shape[0], x.Shape[2]
 	ot := c.OutSize(t)
 	if ot <= 0 {
 		panic(fmt.Sprintf("nn: Conv1d output empty for input %v", x.Shape))
 	}
-	y := tensor.New(n, c.OutC, ot)
+	y := a.New(n, c.OutC, ot)
 	for ni := 0; ni < n; ni++ {
 		for oc := 0; oc < c.OutC; oc++ {
 			var bias float32

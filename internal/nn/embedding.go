@@ -136,11 +136,16 @@ func (p *PositionalEmbedding) Kind() string { return "PositionalEmbedding" }
 // past the training context (the graceful long-context behaviour of
 // ALiBi-style models).
 func (p *PositionalEmbedding) Forward(x *tensor.Tensor) *tensor.Tensor {
+	return p.ForwardArena(nil, x)
+}
+
+// ForwardArena implements ArenaForwarder.
+func (p *PositionalEmbedding) ForwardArena(a *tensor.Arena, x *tensor.Tensor) *tensor.Tensor {
 	if x.Rank() != 3 || x.Shape[2] != p.Dim {
 		panic(fmt.Sprintf("nn: PositionalEmbedding expects [B,T,%d], got %v", p.Dim, x.Shape))
 	}
 	b, t := x.Shape[0], x.Shape[1]
-	y := x.Clone()
+	y := cloneInto(a, x)
 	for bi := 0; bi < b; bi++ {
 		for ti := 0; ti < t; ti++ {
 			pos := ti

@@ -39,19 +39,32 @@ func (l *Linear) OutChannelDim() int { return 0 }
 
 // Forward computes x·Wᵀ + b. x may have any leading shape as long as
 // the final dimension equals In; the output replaces it with Out.
-func (l *Linear) Forward(x *tensor.Tensor) *tensor.Tensor {
+func (l *Linear) Forward(x *tensor.Tensor) *tensor.Tensor { return l.ForwardArena(nil, x) }
+
+// ForwardArena implements ArenaForwarder. The weight panel is repacked
+// into arena scratch on every call — packing is a pure copy, and the
+// weights themselves may be requantized in place between calls, so
+// panels are never cached.
+func (l *Linear) ForwardArena(a *tensor.Arena, x *tensor.Tensor) *tensor.Tensor {
 	rows, cols := flatten2D(x)
 	if cols != l.In {
 		panic(fmt.Sprintf("nn: Linear expects last dim %d, got shape %v", l.In, x.Shape))
 	}
-	x = l.QS.applyIn(x)
-	outShape := make([]int, x.Rank())
-	copy(outShape, x.Shape[:x.Rank()-1])
-	outShape[x.Rank()-1] = l.Out
-	y := tensor.New(outShape...)
+	x = l.QS.applyIn(a, x)
+	y := newLike(a, x, l.Out)
 	// Bias rides in the GEMM epilogue: acc = Σ_k x·w, then acc += b —
 	// the same operation order as the old separate per-row pass.
-	kernels.GemmT(y.Data, x.Data, l.W.Data, rows, l.In, l.Out, kernels.Opt{Bias: l.B})
+	if a == nil {
+		kernels.GemmT(y.Data, x.Data, l.W.Data, rows, l.In, l.Out, kernels.Opt{Bias: l.B})
+	} else {
+		// Planned forwards run the kernel serially (the pooled-closure
+		// fan-out allocates); parallelism comes from one plan per
+		// worker, and the PR 5 contract makes serial vs fanned-out runs
+		// byte-identical.
+		panel := a.Alloc(kernels.PanelFloats(l.In, l.Out))
+		kernels.PackTInto(panel, l.W.Data, l.In, l.Out)
+		kernels.GemmPacked(y.Data, x.Data, panel, rows, l.In, l.Out, kernels.Opt{Bias: l.B, Serial: true})
+	}
 	return l.QS.applyOut(y)
 }
 
@@ -99,9 +112,14 @@ func (m *MatMulOp) Forward(x *tensor.Tensor) *tensor.Tensor {
 // Apply multiplies a [.., M, K] by b [.., K, N] treating leading
 // dimensions as batch (they must match); returns [.., M, N].
 func (m *MatMulOp) Apply(a, b *tensor.Tensor) *tensor.Tensor {
-	a = m.QA.applyIn(a)
-	b = m.QB.applyIn(b)
-	return BatchMatMul(a, b, false)
+	return m.ApplyArena(nil, a, b)
+}
+
+// ApplyArena is Apply with intermediates carved from ar.
+func (m *MatMulOp) ApplyArena(ar *tensor.Arena, a, b *tensor.Tensor) *tensor.Tensor {
+	a = m.QA.applyIn(ar, a)
+	b = m.QB.applyIn(ar, b)
+	return BatchMatMulArena(ar, a, b, false)
 }
 
 // BatchMatMulOp is the BMM leaf used inside attention (QKᵀ and PV).
@@ -124,15 +142,29 @@ func (m *BatchMatMulOp) Forward(x *tensor.Tensor) *tensor.Tensor {
 
 // Apply performs the batched multiply.
 func (m *BatchMatMulOp) Apply(a, b *tensor.Tensor) *tensor.Tensor {
-	a = m.QA.applyIn(a)
-	b = m.QB.applyIn(b)
-	return BatchMatMul(a, b, m.TransposeB)
+	return m.ApplyArena(nil, a, b)
+}
+
+// ApplyArena is Apply with intermediates carved from ar.
+func (m *BatchMatMulOp) ApplyArena(ar *tensor.Arena, a, b *tensor.Tensor) *tensor.Tensor {
+	a = m.QA.applyIn(ar, a)
+	b = m.QB.applyIn(ar, b)
+	return BatchMatMulArena(ar, a, b, m.TransposeB)
 }
 
 // BatchMatMul multiplies batched matrices: a is [batch..., M, K] and b
 // is [batch..., K, N] (or [batch..., N, K] when transB). Leading batch
 // dims must match exactly.
 func BatchMatMul(a, b *tensor.Tensor, transB bool) *tensor.Tensor {
+	return BatchMatMulArena(nil, a, b, transB)
+}
+
+// BatchMatMulArena is BatchMatMul with the output (and one packed
+// panel, reused across batch elements) carved from ar. The arena path
+// runs batch elements serially through the same packed kernels the
+// parallel path uses; the kernels' bit-identity contract makes the
+// results byte-equal for any fan-out.
+func BatchMatMulArena(ar *tensor.Arena, a, b *tensor.Tensor, transB bool) *tensor.Tensor {
 	if a.Rank() < 2 || b.Rank() < 2 {
 		panic("nn: BatchMatMul needs rank >= 2")
 	}
@@ -153,11 +185,27 @@ func BatchMatMul(a, b *tensor.Tensor, transB bool) *tensor.Tensor {
 	if b.Len()/(bqSize(transB, K, N)) != batch {
 		panic(fmt.Sprintf("nn: BatchMatMul batch mismatch: %v x %v", a.Shape, b.Shape))
 	}
-	outShape := append(append([]int(nil), a.Shape[:a.Rank()-2]...), M, N)
-	y := tensor.New(outShape...)
+	y := newLike2(ar, a, M, N)
 	// Both layouts route through the packed GEMM kernels; per output
 	// element the accumulation stays ascending-k, matching the old
 	// matmulT (transB) and k-outer (natural) loops bit for bit.
+	if ar != nil {
+		panel := ar.Alloc(kernels.PanelFloats(K, N))
+		for bi := 0; bi < batch; bi++ {
+			am := a.Data[bi*M*K : (bi+1)*M*K]
+			bm := b.Data[bi*K*N : (bi+1)*K*N]
+			ym := y.Data[bi*M*N : (bi+1)*M*N]
+			// Repacking overwrites the panel fully (including the
+			// zero tail), so reuse across batch elements is exact.
+			if transB {
+				kernels.PackTInto(panel, bm, K, N)
+			} else {
+				kernels.PackNInto(panel, bm, K, N)
+			}
+			kernels.GemmPacked(ym, am, panel, M, K, N, kernels.Opt{Serial: true})
+		}
+		return y
+	}
 	if batch == 1 {
 		batchMatMulOne(y.Data, a.Data, b.Data, M, K, N, transB, false)
 		return y
@@ -171,6 +219,20 @@ func BatchMatMul(a, b *tensor.Tensor, transB bool) *tensor.Tensor {
 		}
 	})
 	return y
+}
+
+// newLike2 carves the [.., M, N] output shape for a batched matmul
+// whose batch dims come from a, without heap-allocating the shape.
+func newLike2(ar *tensor.Arena, a *tensor.Tensor, M, N int) *tensor.Tensor {
+	var buf [8]int
+	r := a.Rank()
+	if r > len(buf) {
+		shape := append(append([]int(nil), a.Shape[:r-2]...), M, N)
+		return ar.New(shape...)
+	}
+	copy(buf[:r-2], a.Shape[:r-2])
+	buf[r-2], buf[r-1] = M, N
+	return ar.New(buf[:r]...)
 }
 
 // batchMatMulOne multiplies one batch element through the blocked

@@ -39,15 +39,16 @@ type QState struct {
 }
 
 // applyIn runs the calibration and input-quantization hooks on x,
-// returning either x itself (FP32 path) or a quantized copy.
-func (q *QState) applyIn(x *tensor.Tensor) *tensor.Tensor {
+// returning either x itself (FP32 path) or a quantized copy carved
+// from a (heap when a is nil).
+func (q *QState) applyIn(a *tensor.Arena, x *tensor.Tensor) *tensor.Tensor {
 	if q.Observe != nil {
 		q.Observe(x.Data)
 	}
 	if q.Input == nil {
 		return x
 	}
-	out := tensor.New(x.Shape...)
+	out := a.New(x.Shape...)
 	q.Input(out.Data, x.Data)
 	return out
 }
@@ -74,6 +75,30 @@ type Module interface {
 	Kind() string
 	// Forward computes the module output for input x.
 	Forward(x *tensor.Tensor) *tensor.Tensor
+}
+
+// ArenaForwarder is implemented by modules whose forward path can
+// carve every intermediate from a preallocated tensor.Arena instead of
+// the heap. The contract is strict bit-identity: ForwardArena(a, x)
+// must run exactly the same kernels in exactly the same accumulation
+// order as Forward(x) — the arena only replaces make — so planned and
+// unplanned outputs compare byte-equal. ForwardArena(nil, x) must
+// equal Forward(x) exactly (every implementation here defines Forward
+// as that call).
+type ArenaForwarder interface {
+	Module
+	ForwardArena(a *tensor.Arena, x *tensor.Tensor) *tensor.Tensor
+}
+
+// ForwardWith runs m on x, carving intermediates from a when m
+// supports it. Modules without an arena path fall back to their heap
+// Forward — still correct, just allocating — so a plan can execute any
+// module tree.
+func ForwardWith(a *tensor.Arena, m Module, x *tensor.Tensor) *tensor.Tensor {
+	if af, ok := m.(ArenaForwarder); ok {
+		return af.ForwardArena(a, x)
+	}
+	return m.Forward(x)
 }
 
 // Visitor is called for every module in a tree with its slash-separated
@@ -132,4 +157,30 @@ func flatten2D(x *tensor.Tensor) (rows, cols int) {
 	cols = x.Shape[x.Rank()-1]
 	rows = x.Len() / cols
 	return rows, cols
+}
+
+// newLike carves a zeroed tensor shaped like x with the final dimension
+// replaced by out (the Linear/matmul output shape). The fixed-size
+// shape buffer stays on the stack, keeping planned forwards
+// allocation-free.
+func newLike(a *tensor.Arena, x *tensor.Tensor, out int) *tensor.Tensor {
+	var buf [8]int
+	r := x.Rank()
+	if r > len(buf) {
+		shape := append([]int(nil), x.Shape...)
+		shape[r-1] = out
+		return a.New(shape...)
+	}
+	copy(buf[:r], x.Shape)
+	buf[r-1] = out
+	return a.New(buf[:r]...)
+}
+
+// cloneInto is Clone with the copy carved from a: New + copy, the exact
+// operation sequence of tensor.Clone, so element-wise modules built on
+// it stay bit-identical under a plan.
+func cloneInto(a *tensor.Arena, x *tensor.Tensor) *tensor.Tensor {
+	y := a.New(x.Shape...)
+	copy(y.Data, x.Data)
+	return y
 }

@@ -81,7 +81,10 @@ func (bn *BatchNorm2d) FinishCalibration() {
 func (bn *BatchNorm2d) Calibrating() bool { return bn.calibrating }
 
 // Forward normalizes x [N,C,H,W] with the running statistics.
-func (bn *BatchNorm2d) Forward(x *tensor.Tensor) *tensor.Tensor {
+func (bn *BatchNorm2d) Forward(x *tensor.Tensor) *tensor.Tensor { return bn.ForwardArena(nil, x) }
+
+// ForwardArena implements ArenaForwarder.
+func (bn *BatchNorm2d) ForwardArena(a *tensor.Arena, x *tensor.Tensor) *tensor.Tensor {
 	if x.Rank() != 4 || x.Shape[1] != bn.C {
 		panic(fmt.Sprintf("nn: BatchNorm2d expects [N,%d,H,W], got %v", bn.C, x.Shape))
 	}
@@ -99,7 +102,7 @@ func (bn *BatchNorm2d) Forward(x *tensor.Tensor) *tensor.Tensor {
 		}
 		bn.count += n * hw
 	}
-	y := tensor.New(x.Shape...)
+	y := a.New(x.Shape...)
 	for ni := 0; ni < n; ni++ {
 		for c := 0; c < bn.C; c++ {
 			inv := bn.Gamma[c] / float32(math.Sqrt(float64(bn.Var[c])+float64(bn.Eps)))
@@ -141,12 +144,15 @@ func (ln *LayerNorm) Kind() string { return "LayerNorm" }
 func (ln *LayerNorm) Q() *QState { return &ln.QS }
 
 // Forward normalizes each trailing-dim vector of x.
-func (ln *LayerNorm) Forward(x *tensor.Tensor) *tensor.Tensor {
+func (ln *LayerNorm) Forward(x *tensor.Tensor) *tensor.Tensor { return ln.ForwardArena(nil, x) }
+
+// ForwardArena implements ArenaForwarder.
+func (ln *LayerNorm) ForwardArena(a *tensor.Arena, x *tensor.Tensor) *tensor.Tensor {
 	rows, cols := flatten2D(x)
 	if cols != ln.Dim {
 		panic(fmt.Sprintf("nn: LayerNorm expects last dim %d, got %v", ln.Dim, x.Shape))
 	}
-	y := tensor.New(x.Shape...)
+	y := a.New(x.Shape...)
 	for r := 0; r < rows; r++ {
 		src := x.Data[r*cols : (r+1)*cols]
 		dst := y.Data[r*cols : (r+1)*cols]
@@ -193,12 +199,15 @@ func (rn *RMSNorm) Kind() string { return "RMSNorm" }
 func (rn *RMSNorm) Q() *QState { return &rn.QS }
 
 // Forward normalizes each trailing-dim vector by its RMS.
-func (rn *RMSNorm) Forward(x *tensor.Tensor) *tensor.Tensor {
+func (rn *RMSNorm) Forward(x *tensor.Tensor) *tensor.Tensor { return rn.ForwardArena(nil, x) }
+
+// ForwardArena implements ArenaForwarder.
+func (rn *RMSNorm) ForwardArena(a *tensor.Arena, x *tensor.Tensor) *tensor.Tensor {
 	rows, cols := flatten2D(x)
 	if cols != rn.Dim {
 		panic(fmt.Sprintf("nn: RMSNorm expects last dim %d, got %v", rn.Dim, x.Shape))
 	}
-	y := tensor.New(x.Shape...)
+	y := a.New(x.Shape...)
 	for r := 0; r < rows; r++ {
 		src := x.Data[r*cols : (r+1)*cols]
 		dst := y.Data[r*cols : (r+1)*cols]
@@ -242,14 +251,17 @@ func (gn *GroupNorm) Kind() string { return "GroupNorm" }
 func (gn *GroupNorm) Q() *QState { return &gn.QS }
 
 // Forward normalizes each channel group of x [N,C,H,W].
-func (gn *GroupNorm) Forward(x *tensor.Tensor) *tensor.Tensor {
+func (gn *GroupNorm) Forward(x *tensor.Tensor) *tensor.Tensor { return gn.ForwardArena(nil, x) }
+
+// ForwardArena implements ArenaForwarder.
+func (gn *GroupNorm) ForwardArena(a *tensor.Arena, x *tensor.Tensor) *tensor.Tensor {
 	if x.Rank() != 4 || x.Shape[1] != gn.C {
 		panic(fmt.Sprintf("nn: GroupNorm expects [N,%d,H,W], got %v", gn.C, x.Shape))
 	}
 	n, h, w := x.Shape[0], x.Shape[2], x.Shape[3]
 	hw := h * w
 	cg := gn.C / gn.Groups
-	y := tensor.New(x.Shape...)
+	y := a.New(x.Shape...)
 	for ni := 0; ni < n; ni++ {
 		for g := 0; g < gn.Groups; g++ {
 			start := (ni*gn.C + g*cg) * hw

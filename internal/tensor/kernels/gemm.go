@@ -93,6 +93,24 @@ func PackT(w []float32, in, out int) *[]float32 {
 	return pp
 }
 
+// PanelFloats returns the float32 length of the packed panel for a
+// [rows=out, cols=in] weight (both packT and packN layouts). Callers
+// carving panels from a preallocated arena size them with this.
+func PanelFloats(in, out int) int {
+	npan := (out + nr - 1) / nr
+	return npan * in * nr
+}
+
+// PackTInto packs w (row-major [out, in], the Linear weight layout)
+// into panel, which must have at least PanelFloats(in, out) elements.
+// The packing is a pure copy (zero-filled nr tail), so repacking into
+// a reused buffer writes identical bytes every time.
+func PackTInto(panel, w []float32, in, out int) { packT(panel, w, in, out) }
+
+// PackNInto packs b (row-major [in, out], the natural matmul layout)
+// into panel, which must have at least PanelFloats(in, out) elements.
+func PackNInto(panel, b []float32, in, out int) { packN(panel, b, in, out) }
+
 // GemmPacked is GemmT against a panel already packed by PackT.
 func GemmPacked(y, x, panel []float32, rows, in, out int, opt Opt) {
 	if rows <= 0 || out <= 0 {
@@ -185,25 +203,35 @@ func run(y, x, panel []float32, rows, in, out int, opt Opt) {
 		}
 		return
 	}
-	body := func(lo, hi int) {
-		for r := lo; r < hi; {
-			rb := hi - r
-			if rb > mr {
-				rb = mr
-			}
-			blockRows(y, x, panel, r, rb, in, out, opt)
-			r += rb
-		}
-	}
 	if opt.Serial {
-		body(0, rows)
+		// The closure below escapes into the worker pool, costing one
+		// heap allocation per call; the serial path (planned forwards,
+		// per-batch BMMs) calls the range body directly so steady-state
+		// planned GEMMs allocate nothing.
+		runRange(y, x, panel, 0, rows, in, out, opt)
 		return
+	}
+	body := func(lo, hi int) {
+		runRange(y, x, panel, lo, hi, in, out, opt)
 	}
 	grain := 1
 	if w := in * out; w < minParallelOps {
 		grain = (minParallelOps + w - 1) / w
 	}
 	tensor.ParallelFor(rows, grain, body)
+}
+
+// runRange computes output rows [lo, hi) in mr-row blocks; chunk
+// boundaries never change any row's result.
+func runRange(y, x, panel []float32, lo, hi, in, out int, opt Opt) {
+	for r := lo; r < hi; {
+		rb := hi - r
+		if rb > mr {
+			rb = mr
+		}
+		blockRows(y, x, panel, r, rb, in, out, opt)
+		r += rb
+	}
 }
 
 // blockRows computes rb (≤ mr) consecutive output rows against every
