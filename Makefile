@@ -1,14 +1,14 @@
 GO ?= go
 
 # Minimum combined statement coverage (%) for internal/harness +
-# internal/resultstore + internal/tensor/kernels + internal/analyzers.
-# 71.2% was measured when the sharding subsystem landed (PR 4); the
-# kernels package joined the floor in PR 5, the fp8vet analyzer suite
-# in PR 6, both without lowering it. cover-check fails CI if the
-# combined figure regresses below this.
+# internal/resultstore + internal/tensor/kernels + internal/analyzers +
+# internal/coord. 71.2% was measured when the sharding subsystem landed
+# (PR 4); the kernels package joined the floor in PR 5, the fp8vet
+# analyzer suite in PR 6, the sweep coordinator in PR 8, none lowering
+# it. cover-check fails CI if the combined figure regresses below this.
 COVER_FLOOR ?= 71.0
 
-.PHONY: all build vet vet-contracts lint fmt fmt-check test bench bench-json bench-gate bench-kernels bench-trend smoke shard-smoke serve-smoke fuzz cover-check ci
+.PHONY: all build vet vet-contracts lint fmt fmt-check test bench bench-json bench-gate bench-kernels bench-trend smoke shard-smoke serve-smoke coord-smoke fuzz cover-check ci
 
 all: build
 
@@ -121,6 +121,43 @@ shard-smoke:
 		echo "shard-smoke: merged report differs from unsharded run"; exit 1; }; \
 	echo "shard-smoke: 3 shards merged, coverage complete, report identical, 0 misses"
 
+# Coordinated-sweep smoke: fp8coord + pull-based fp8bench workers
+# complete table3 over HTTP into a fresh store. One worker is killed
+# mid-sweep (SIGKILL, no drain) to prove a lost lease costs one
+# -lease-ttl timeout, not the sweep. Afterwards -coverage must report
+# the store complete, a warm run against it must have 0 misses, and
+# its report must be byte-identical to an uncoordinated -workers 1 run
+# (timing/cache footer lines, which start with "(", are excluded).
+coord-smoke:
+	@set -e; d=$$(mktemp -d); trap 'rm -rf "$$d"' EXIT; \
+	$(GO) build -o "$$d/fp8bench" ./cmd/fp8bench; \
+	$(GO) build -o "$$d/fp8coord" ./cmd/fp8coord; \
+	"$$d/fp8coord" -exp table3 -cache-dir "$$d/store" -addr 127.0.0.1:0 \
+		-addr-file "$$d/addr" -lease-ttl 10s -once -linger 5s 2> "$$d/coord.log" & \
+	coord=$$!; \
+	for i in $$(seq 50); do [ -s "$$d/addr" ] && break; sleep 0.1; done; \
+	[ -s "$$d/addr" ] || { echo "coord-smoke: no address published"; cat "$$d/coord.log"; exit 1; }; \
+	url=$$(cat "$$d/addr"); \
+	"$$d/fp8bench" -worker "$$url" -worker-name doomed -no-cache 2> /dev/null & doomed=$$!; \
+	sleep 1; kill -9 $$doomed 2> /dev/null || true; \
+	"$$d/fp8bench" -worker "$$url" -worker-name w1 -no-cache 2> "$$d/w1.log" & w1=$$!; \
+	"$$d/fp8bench" -worker "$$url" -worker-name w2 -no-cache 2> "$$d/w2.log" & w2=$$!; \
+	wait $$w1 || { echo "coord-smoke: worker 1 failed"; cat "$$d/w1.log"; exit 1; }; \
+	wait $$w2 || { echo "coord-smoke: worker 2 failed"; cat "$$d/w2.log"; exit 1; }; \
+	wait $$coord || { echo "coord-smoke: coordinator failed"; cat "$$d/coord.log"; exit 1; }; \
+	"$$d/fp8bench" -exp table3 -coverage -cache-dir "$$d/store" | tee "$$d/cov.txt"; \
+	grep -q "all experiment grids complete" "$$d/cov.txt" || { \
+		echo "coord-smoke: coordinated store incomplete"; cat "$$d/coord.log"; exit 1; }; \
+	"$$d/fp8bench" -exp table3 -workers 1 -no-cache > "$$d/ref.txt"; \
+	"$$d/fp8bench" -exp table3 -workers 1 -cache-dir "$$d/store" > "$$d/warm.txt"; \
+	grep -q ", 0 misses," "$$d/warm.txt" || { \
+		echo "coord-smoke: warm run over coordinated store had misses:"; \
+		grep "result store" "$$d/warm.txt"; exit 1; }; \
+	grep -v "^(" "$$d/ref.txt" > "$$d/r1"; grep -v "^(" "$$d/warm.txt" > "$$d/r2"; \
+	cmp "$$d/r1" "$$d/r2" || { \
+		echo "coord-smoke: coordinated report differs from local run"; exit 1; }; \
+	echo "coord-smoke: sweep complete, killed worker survived, report identical, 0 misses"
+
 # Serving smoke: fp8serve on a small quantized model at two worker
 # counts. The -check audit bit-compares every served row (planned,
 # batched) against an unplanned single-sample forward, and the command
@@ -137,16 +174,17 @@ fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzQuantizeScaledSlice -fuzztime=$(FUZZTIME) ./internal/fp8
 
 # Full-suite coverage profile + combined floor check for the
-# floor-governed packages (harness, resultstore, kernels, analyzers).
+# floor-governed packages (harness, resultstore, kernels, analyzers,
+# coord).
 cover-check:
 	$(GO) test -coverprofile=coverage.out ./...
 	@awk -v floor=$(COVER_FLOOR) -F'[ ]' ' \
-		NR > 1 && $$1 ~ /^fp8quant\/internal\/(harness|resultstore|tensor\/kernels|analyzers)\//{ \
+		NR > 1 && $$1 ~ /^fp8quant\/internal\/(harness|resultstore|tensor\/kernels|analyzers|coord)\//{ \
 			total += $$2; if ($$3 > 0) covered += $$2 } \
 		END { \
 			if (total == 0) { print "cover-check: no statements matched"; exit 1 } \
 			pct = 100 * covered / total; \
-			printf "harness+resultstore+kernels+analyzers combined coverage: %.1f%% (floor %.1f%%)\n", pct, floor; \
+			printf "harness+resultstore+kernels+analyzers+coord combined coverage: %.1f%% (floor %.1f%%)\n", pct, floor; \
 			exit (pct < floor) }' coverage.out
 
-ci: build lint test serve-smoke
+ci: build lint test serve-smoke coord-smoke

@@ -14,6 +14,7 @@
 //	fp8bench -exp table2 -coverage       report done/missing cells per grid
 //	fp8bench -cache-clear                prune stale/old-schema store entries
 //	fp8bench -models                     list the 75-model zoo with metadata
+//	fp8bench -worker http://host:port    pull cell leases from an fp8coord
 //
 // Experiments are declarative cell grids (harness.GridSpec); the
 // executor fans their cells out over a bounded worker pool (-workers,
@@ -24,6 +25,13 @@
 // report without recomputing. -no-cache disables the store; each
 // experiment footer reports its cell cache traffic, and a progress
 // line on stderr shows cells done/total while a grid executes.
+//
+// Besides static sharding, a sweep can run under a coordinator:
+// -worker <url> turns this process into a pull-based worker that
+// leases one cell at a time from a running fp8coord, computes it
+// through the same cache layers as a local run, and pushes the store
+// payload back over HTTP. SIGINT/SIGTERM drain gracefully — the
+// in-flight cell is finished and pushed before the worker exits.
 //
 // A sweep too slow for one machine shards: -shard i/n computes only
 // the i-th of n disjoint slices of each grid into this process's
@@ -44,17 +52,21 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 
+	"fp8quant/internal/coord"
 	"fp8quant/internal/evalx"
 	"fp8quant/internal/harness"
 	"fp8quant/internal/models"
@@ -75,6 +87,8 @@ func main() {
 	shardFlag := flag.String("shard", "", `compute only the i-th of n disjoint grid slices, e.g. "2/3" (1-based)`)
 	mergeFlag := flag.String("merge", "", "comma-separated store directories to merge into -cache-dir")
 	coverage := flag.Bool("coverage", false, "report done/missing cells per experiment instead of running (exits nonzero if any grid is incomplete)")
+	workerURL := flag.String("worker", "", "run as a pull-based sweep worker against this fp8coord URL")
+	workerName := flag.String("worker-name", "", "worker identity reported to the coordinator (default host-pid)")
 	flag.Parse()
 	harness.SetWorkers(*workers)
 	if !*noCache && *cacheDir != "" {
@@ -128,6 +142,8 @@ func main() {
 	}
 
 	switch {
+	case *workerURL != "":
+		os.Exit(runWorker(*workerURL, *workerName))
 	case *coverage:
 		ids := harness.IDs()
 		if *exp != "" {
@@ -230,6 +246,32 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// runWorker runs the pull-based worker loop against a coordinator and
+// returns the process exit code. SIGINT/SIGTERM cancel the loop's
+// context: the worker finishes and pushes the cell it is computing,
+// then exits instead of leasing more — a drained worker never wastes
+// completed work or strands a lease until its timeout.
+func runWorker(url, name string) int {
+	if name == "" {
+		host, err := os.Hostname()
+		if err != nil {
+			host = "worker"
+		}
+		name = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	w := &coord.Worker{URL: url, Name: name, Log: os.Stderr}
+	stats, err := w.Run(ctx)
+	fmt.Fprintf(os.Stderr, "worker %s: done (%d computed, %d cached, %d failed)\n",
+		name, stats.Computed, stats.Cached, stats.Failed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "-worker: %v\n", err)
+		return 1
+	}
+	return 0
 }
 
 // resolveIDs expands and validates the -exp argument.

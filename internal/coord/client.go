@@ -1,0 +1,282 @@
+// Worker side of the sweep protocol. A worker is a plain loop: lease a
+// cell, compute it through the exact harness path a local run uses
+// (memo → store → RunCell, panic-isolated), push the store payload
+// back, repeat until the coordinator says done. All HTTP calls go
+// through a bounded retry with exponential backoff and jitter —
+// connection refused and 5xx are transient (a restarting coordinator),
+// 4xx are protocol errors and fail hard — and a cancelled context
+// finishes gracefully: the in-flight cell is still computed and pushed
+// before the worker exits, so SIGINT never wastes completed work.
+
+package coord
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strings"
+	"time"
+
+	"fp8quant/internal/harness"
+	"fp8quant/internal/resultstore"
+)
+
+// Worker pulls cell leases from a coordinator and pushes results back.
+type Worker struct {
+	// URL is the coordinator base URL (e.g. "http://127.0.0.1:8123").
+	URL string
+	// Name identifies the worker in coordinator bookkeeping and logs.
+	Name string
+	// HTTP is the client used for all calls. Default: a client with a
+	// 2-minute timeout (long-polls are not used by workers).
+	HTTP *http.Client
+	// Resolve maps an experiment id to its experiment. Default
+	// harness.Get; tests inject synthetic experiments.
+	Resolve func(id string) (harness.Experiment, bool)
+	// MaxRetries bounds consecutive transient failures per call before
+	// the worker gives up (the retry budget). Default 6.
+	MaxRetries int
+	// BaseDelay/MaxDelay shape the exponential backoff. Defaults
+	// 200ms / 10s.
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+	// Log receives progress lines; nil discards them.
+	Log io.Writer
+
+	rng *rand.Rand
+}
+
+// WorkerStats summarizes one worker run.
+type WorkerStats struct {
+	// Computed counts cells this worker evaluated fresh.
+	Computed int
+	// Cached counts cells served from this worker's local cache layers.
+	Cached int
+	// Failed counts cells whose evaluation errored (pushed as Err).
+	Failed int
+}
+
+func (w *Worker) defaults() {
+	if w.HTTP == nil {
+		w.HTTP = &http.Client{Timeout: 2 * time.Minute}
+	}
+	if w.Resolve == nil {
+		w.Resolve = harness.Get
+	}
+	if w.MaxRetries <= 0 {
+		w.MaxRetries = 6
+	}
+	if w.BaseDelay <= 0 {
+		w.BaseDelay = 200 * time.Millisecond
+	}
+	if w.MaxDelay <= 0 {
+		w.MaxDelay = 10 * time.Second
+	}
+	if w.rng == nil {
+		// Jitter decorrelates workers' retry storms; seeding from the
+		// worker name keeps the worker itself reproducible. Scheduling
+		// jitter never reaches cell computation, so determinism of
+		// results is untouched.
+		var seed int64 = 1
+		for _, r := range w.Name {
+			seed = seed*131 + int64(r)
+		}
+		w.rng = rand.New(rand.NewSource(seed))
+	}
+}
+
+func (w *Worker) logf(format string, args ...interface{}) {
+	if w.Log != nil {
+		fmt.Fprintf(w.Log, "worker %s: "+format+"\n", append([]interface{}{w.Name}, args...)...)
+	}
+}
+
+// Run pulls and computes cells until the coordinator reports done (or
+// draining), the context is cancelled, or the retry budget is
+// exhausted. A context cancellation arriving mid-cell is graceful: the
+// cell is finished and pushed first.
+func (w *Worker) Run(ctx context.Context) (WorkerStats, error) {
+	w.defaults()
+	var stats WorkerStats
+	for {
+		if ctx.Err() != nil {
+			w.logf("context cancelled, exiting")
+			return stats, nil
+		}
+		var lr LeaseResponse
+		if err := w.call(ctx, "/v1/lease", LeaseRequest{Worker: w.Name}, &lr); err != nil {
+			return stats, fmt.Errorf("lease: %w", err)
+		}
+		switch lr.Status {
+		case StatusDone:
+			w.logf("schedule complete, exiting")
+			return stats, nil
+		case StatusDraining:
+			w.logf("coordinator draining, exiting")
+			return stats, nil
+		case StatusWait:
+			delay := time.Duration(lr.RetryMs) * time.Millisecond
+			if delay <= 0 {
+				delay = time.Second
+			}
+			if !w.sleep(ctx, w.jitter(delay)) {
+				return stats, nil
+			}
+			continue
+		case StatusLease:
+			if lr.Lease == nil {
+				return stats, fmt.Errorf("lease: coordinator sent status %q without a lease", lr.Status)
+			}
+		default:
+			return stats, fmt.Errorf("lease: unknown status %q", lr.Status)
+		}
+		push := w.computeLease(*lr.Lease, &stats)
+		// Push over a context detached from cancellation: if SIGINT
+		// landed while computing, the finished cell must still reach the
+		// coordinator — dropping it would waste the work and cost a
+		// lease timeout.
+		var pr PushResponse
+		if err := w.call(context.Background(), "/v1/push", push, &pr); err != nil {
+			return stats, fmt.Errorf("push %s: %w", push.Fingerprint, err)
+		}
+		w.logf("cell %s: %s", lr.Lease.Key, pr.Status)
+	}
+}
+
+// computeLease evaluates one leased cell and builds its push.
+func (w *Worker) computeLease(l Lease, stats *WorkerStats) PushRequest {
+	push := PushRequest{Worker: w.Name, LeaseID: l.ID, Fingerprint: l.Fingerprint}
+	e, ok := w.Resolve(l.Exp)
+	if !ok {
+		stats.Failed++
+		push.Err = fmt.Sprintf("worker %s does not know experiment %q (version skew?)", w.Name, l.Exp)
+		return push
+	}
+	spec := e.Spec()
+	if l.Index < 0 || l.Index >= spec.NumCells() {
+		stats.Failed++
+		push.Err = fmt.Sprintf("cell index %d out of range for %s's %d cells (schedule skew?)", l.Index, l.Exp, spec.NumCells())
+		return push
+	}
+	// Recompute the content address from this worker's own spec: a
+	// worker built from a different schedule must fail loudly rather
+	// than push bytes under the coordinator's address.
+	if fp := spec.CellKey(spec.CellAt(l.Index)).Fingerprint(); fp != l.Fingerprint {
+		stats.Failed++
+		push.Err = fmt.Sprintf("fingerprint mismatch on %s cell %d: coordinator says %s, worker derives %s (schedule skew)", l.Exp, l.Index, l.Fingerprint, fp)
+		return push
+	}
+	start := time.Now()
+	key, res, computed := harness.ComputeCell(e, l.Index)
+	elapsed := time.Since(start)
+	if res.Err != "" {
+		// Cell failures are deterministic (runCellSafe converts panics);
+		// report them so the coordinator stops rescheduling the cell.
+		stats.Failed++
+		push.Err = res.Err
+		return push
+	}
+	payload, err := resultstore.EncodeCell(key, res)
+	if err != nil {
+		stats.Failed++
+		push.Err = fmt.Sprintf("encoding cell payload: %v", err)
+		return push
+	}
+	push.Payload = payload
+	push.DurationMs = float64(elapsed) / float64(time.Millisecond)
+	push.Computed = computed
+	if computed {
+		stats.Computed++
+	} else {
+		stats.Cached++
+	}
+	return push
+}
+
+// call POSTs req as JSON and decodes the response into out, retrying
+// transient failures (network errors, 5xx) with exponential backoff and
+// jitter up to the retry budget. Non-5xx protocol errors fail
+// immediately with the server's error message.
+func (w *Worker) call(ctx context.Context, path string, req, out interface{}) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	url := strings.TrimRight(w.URL, "/") + path
+	var lastErr error
+	for attempt := 0; attempt <= w.MaxRetries; attempt++ {
+		if attempt > 0 {
+			if !w.sleep(ctx, w.backoff(attempt)) {
+				return fmt.Errorf("cancelled while retrying %s: %w", path, lastErr)
+			}
+			w.logf("retrying %s (attempt %d/%d): %v", path, attempt, w.MaxRetries, lastErr)
+		}
+		httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		httpReq.Header.Set("Content-Type", "application/json")
+		resp, err := w.HTTP.Do(httpReq)
+		if err != nil {
+			lastErr = err // connection refused, reset, timeout: transient
+			continue
+		}
+		respBody, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+		resp.Body.Close()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if resp.StatusCode >= 500 {
+			lastErr = fmt.Errorf("%s: HTTP %d: %s", path, resp.StatusCode, strings.TrimSpace(string(respBody)))
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			// 4xx is a protocol disagreement (bad push, conflict, unknown
+			// cell) — retrying the identical request cannot help.
+			var er errorResponse
+			if json.Unmarshal(respBody, &er) == nil && er.Error != "" {
+				return fmt.Errorf("%s: HTTP %d: %s", path, resp.StatusCode, er.Error)
+			}
+			return fmt.Errorf("%s: HTTP %d: %s", path, resp.StatusCode, strings.TrimSpace(string(respBody)))
+		}
+		return json.Unmarshal(respBody, out)
+	}
+	return fmt.Errorf("%s: retry budget exhausted after %d attempts: %w", path, w.MaxRetries+1, lastErr)
+}
+
+// backoff returns the delay before the given retry attempt (1-based):
+// exponential from BaseDelay, capped at MaxDelay, with jitter.
+func (w *Worker) backoff(attempt int) time.Duration {
+	d := w.BaseDelay << uint(attempt-1)
+	if d > w.MaxDelay || d <= 0 {
+		d = w.MaxDelay
+	}
+	return w.jitter(d)
+}
+
+// jitter spreads a delay uniformly over [d/2, d) so workers retrying in
+// lockstep decorrelate.
+func (w *Worker) jitter(d time.Duration) time.Duration {
+	if d <= 1 {
+		return d
+	}
+	half := d / 2
+	return half + time.Duration(w.rng.Int63n(int64(half)))
+}
+
+// sleep waits for d or until the context cancels; false on cancel.
+func (w *Worker) sleep(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}

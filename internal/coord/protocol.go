@@ -1,0 +1,135 @@
+// Wire protocol of the sweep coordinator: plain JSON over HTTP,
+// stdlib-only on both sides. Workers are pull-based — they ask for a
+// cell lease, compute it with the same harness code a local run uses,
+// and push the resulting store payload back — so the coordinator never
+// needs to know worker addresses, and a crashed worker costs exactly
+// one lease timeout instead of a shard.
+//
+// Endpoints (all under /v1):
+//
+//	POST /v1/lease     LeaseRequest  -> LeaseResponse
+//	POST /v1/push      PushRequest   -> PushResponse
+//	GET  /v1/progress  ?gen=N&timeout_ms=M  -> ProgressSnapshot (long-poll)
+//	GET  /v1/coverage  -> text coverage table (fp8bench -coverage style)
+//	GET  /v1/healthz   -> "ok"
+package coord
+
+import "encoding/json"
+
+// Lease statuses returned by POST /v1/lease.
+const (
+	// StatusLease carries a granted cell lease.
+	StatusLease = "lease"
+	// StatusWait means no cell is grantable right now (everything is
+	// leased out) but the schedule is not finished — retry after
+	// RetryMs.
+	StatusWait = "wait"
+	// StatusDone means every scheduled cell is done or permanently
+	// failed; workers should exit.
+	StatusDone = "done"
+	// StatusDraining means the coordinator is shutting down and refuses
+	// new leases; workers should exit after pushing in-flight work.
+	StatusDraining = "draining"
+)
+
+// LeaseRequest asks for one cell of work.
+type LeaseRequest struct {
+	// Worker is a free-form worker identity, used only for logging and
+	// lease bookkeeping.
+	Worker string `json:"worker"`
+}
+
+// Lease is one granted unit of work: a single grid cell.
+type Lease struct {
+	// ID identifies the lease for the matching push.
+	ID string `json:"id"`
+	// Exp is the experiment id (resolved via harness.Get on the worker).
+	Exp string `json:"exp"`
+	// Index is the row-major cell index in the experiment's grid.
+	Index int `json:"index"`
+	// Key is the human-readable cell label ("model=...,recipe=...").
+	Key string `json:"key"`
+	// Fingerprint is the cell's content address. The worker recomputes
+	// it from its own spec and refuses the lease on mismatch — a
+	// coordinator and worker built from different schedules must fail
+	// loudly, not push cells under wrong addresses.
+	Fingerprint string `json:"fingerprint"`
+	// TTLMs is the lease duration: a push arriving later than this may
+	// find the cell re-leased to another worker (the late push is still
+	// accepted if it gets there first).
+	TTLMs int64 `json:"ttl_ms"`
+}
+
+// LeaseResponse answers a lease request.
+type LeaseResponse struct {
+	Status string `json:"status"`
+	Lease  *Lease `json:"lease,omitempty"`
+	// RetryMs suggests how long to wait before retrying (StatusWait).
+	RetryMs int64 `json:"retry_ms,omitempty"`
+}
+
+// PushRequest delivers a completed (or failed) cell.
+type PushRequest struct {
+	Worker  string `json:"worker"`
+	LeaseID string `json:"lease_id"`
+	// Fingerprint is the cell's content address (must match the lease).
+	Fingerprint string `json:"fingerprint"`
+	// Payload is the exact store envelope (resultstore.EncodeCell) for
+	// a successful cell; empty when Err is set.
+	Payload json.RawMessage `json:"payload,omitempty"`
+	// DurationMs is the worker-observed wall time of the computation.
+	DurationMs float64 `json:"duration_ms"`
+	// Computed is true when the worker actually ran the cell (false for
+	// a local cache hit, whose duration says nothing about cell cost).
+	Computed bool `json:"computed"`
+	// Err marks a cell that could not be evaluated (RunCell panic,
+	// unknown experiment, schedule mismatch). The coordinator records
+	// it as permanently failed — cell failures are deterministic, so
+	// retrying on another worker would just fail again.
+	Err string `json:"err,omitempty"`
+}
+
+// Push statuses returned by POST /v1/push.
+const (
+	// PushStored means the payload was ingested into the store.
+	PushStored = "stored"
+	// PushIdentical means the store already held byte-identical payload
+	// (an idempotent duplicate: a re-pushed cell or an expired lease
+	// whose work was redone elsewhere).
+	PushIdentical = "identical"
+	// PushFailedRecorded means the cell's Err was recorded.
+	PushFailedRecorded = "failed-recorded"
+)
+
+// PushResponse answers a push.
+type PushResponse struct {
+	Status string `json:"status"`
+}
+
+// ProgressSnapshot is the long-poll progress payload: the coordinator's
+// live -coverage view. Gen increases on every state change; pass it
+// back as ?gen= to block until something new happens.
+type ProgressSnapshot struct {
+	Gen      int64 `json:"gen"`
+	Draining bool  `json:"draining"`
+	// Complete is true once every scheduled cell is done or failed.
+	Complete    bool          `json:"complete"`
+	Experiments []ExpProgress `json:"experiments"`
+}
+
+// ExpProgress is one experiment's schedule state.
+type ExpProgress struct {
+	Exp     string  `json:"exp"`
+	Grid    string  `json:"grid"`
+	Total   int     `json:"total"`
+	Done    int     `json:"done"`
+	Failed  int     `json:"failed"`
+	Leased  int     `json:"leased"`
+	Pending int     `json:"pending"`
+	Percent float64 `json:"percent"`
+}
+
+// errorResponse is the JSON body of non-2xx protocol answers.
+type errorResponse struct {
+	Error string `json:"error"`
+}

@@ -1,0 +1,560 @@
+// The coordinator: a long-running control plane that owns a grid
+// schedule end to end. It derives the cell set from the scheduled
+// experiments' specs (deduplicated across experiments sharing a grid,
+// seeded done from whatever the store already holds, so restarting a
+// coordinator over a half-full store schedules only the missing
+// cells), leases cells to pull-based workers most-expensive-first via
+// the learned cost model, ingests pushed payloads under Store.Merge's
+// exact conflict rules, and publishes live coverage over a long-poll
+// endpoint. All state lives behind one mutex; handlers are thin.
+//
+// Wall-clock use (lease deadlines, cost observations) is confined to
+// this control plane and never reaches RunCell — cell payloads are
+// computed by the same pure harness path as local runs and stay
+// byte-identical; the clock only decides *when* work is re-queued,
+// never *what* a cell contains.
+
+package coord
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"fp8quant/internal/harness"
+	"fp8quant/internal/resultstore"
+)
+
+// Config configures a Coordinator.
+type Config struct {
+	// Experiments are the grid experiments to schedule. Scalar (axis-
+	// less) experiments contribute no cells and are skipped.
+	Experiments []harness.Experiment
+	// Filter optionally restricts every grid to matching cells (same
+	// semantics as fp8bench -filter). Experiments the filter matches no
+	// cell of are scheduled empty.
+	Filter harness.Filter
+	// Store receives pushed payloads and seeds already-done cells.
+	// Required.
+	Store *resultstore.Store
+	// LeaseTTL is how long a worker may hold a cell before the lease
+	// expires and the cell requeues. Default 5m — generous against the
+	// zoo's slowest cells, small against a lost shard.
+	LeaseTTL time.Duration
+	// CostSidecar names the cost-model sidecar file in the store.
+	// Default CostSidecarName.
+	CostSidecar string
+	// MaxExpiries bounds how often one cell may time out before it is
+	// declared failed (a cell that keeps killing workers should stop
+	// the sweep from spinning). Default 3.
+	MaxExpiries int
+	// WaitRetry is the retry hint handed to workers when every pending
+	// cell is leased out. Default 1s.
+	WaitRetry time.Duration
+	// Clock injects time for tests. Default time.Now.
+	Clock func() time.Time
+}
+
+// Coordinator owns the schedule state. Create with New, expose with
+// Handler, and drive shutdown with Drain + PersistCost.
+type Coordinator struct {
+	cfg  Config
+	cost *CostModel
+
+	mu       sync.Mutex
+	items    map[string]*workItem // by fingerprint
+	exps     []*expSchedule       // in configured order
+	pending  []*workItem
+	dirty    bool // pending needs re-sorting against fresh estimates
+	leases   map[string]*leaseRec
+	seq      int64
+	gen      int64
+	draining bool
+	notify   chan struct{}
+	done     chan struct{}
+	complete bool
+}
+
+// New builds the schedule and seeds it from the store. The store's
+// grid manifests are written up front (full schedules only, like a
+// local run), so -coverage and merges can reason about the sweep while
+// it is still running.
+func New(cfg Config) (*Coordinator, error) {
+	if cfg.Store == nil {
+		return nil, fmt.Errorf("coord: a result store is required (pushed cells have nowhere to go)")
+	}
+	if cfg.LeaseTTL <= 0 {
+		cfg.LeaseTTL = 5 * time.Minute
+	}
+	if cfg.CostSidecar == "" {
+		cfg.CostSidecar = CostSidecarName
+	}
+	if cfg.MaxExpiries <= 0 {
+		cfg.MaxExpiries = 3
+	}
+	if cfg.WaitRetry <= 0 {
+		cfg.WaitRetry = time.Second
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = time.Now
+	}
+	c := &Coordinator{
+		cfg:    cfg,
+		cost:   LoadCostModel(cfg.Store, cfg.CostSidecar),
+		items:  map[string]*workItem{},
+		leases: map[string]*leaseRec{},
+		notify: make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	for _, e := range cfg.Experiments {
+		spec := e.Spec()
+		if err := spec.ValidateFilter(cfg.Filter); err != nil && spec.NumCells() > 0 {
+			return nil, fmt.Errorf("coord: %s: %w", e.ID(), err)
+		}
+		sel := spec.Select(cfg.Filter)
+		es := &expSchedule{id: e.ID(), grid: spec.ID}
+		for _, idx := range sel {
+			cell := spec.CellAt(idx)
+			k := spec.CellKey(cell)
+			fp := k.Fingerprint()
+			it, ok := c.items[fp]
+			if !ok {
+				it = &workItem{
+					exp: e.ID(), grid: spec.ID, index: idx,
+					key: spec.KeyString(cell), fp: fp, axes: k.Cell,
+				}
+				c.items[fp] = it
+				c.pending = append(c.pending, it)
+			}
+			es.items = append(es.items, it)
+		}
+		c.exps = append(c.exps, es)
+		// Record the full schedule for coverage tooling; a filtered
+		// sub-schedule is not the grid's schedule and must not
+		// overwrite it (same rule as the local executor).
+		if spec.NumCells() > 0 && len(sel) == spec.NumCells() {
+			saveManifest(cfg.Store, spec)
+		}
+	}
+	c.seedFromStore()
+	c.mu.Lock()
+	c.checkCompleteLocked()
+	c.mu.Unlock()
+	return c, nil
+}
+
+// saveManifest records a grid's full schedule, preserving an existing
+// manifest whose schedule already matches (it may carry shard
+// provenance from earlier distributed runs).
+func saveManifest(s *resultstore.Store, spec harness.GridSpec) {
+	m := harness.ManifestFor(spec)
+	if old, ok := s.LoadManifest(spec.ID, spec.Seed); ok && old.SameSchedule(m) {
+		return
+	}
+	// A failed manifest write only degrades coverage reporting; pushed
+	// cells are still content-addressed and safe.
+	_ = s.SaveManifest(m)
+}
+
+// seedFromStore marks every scheduled cell the store already holds as
+// done, so a restarted coordinator (or one pointed at a merged store)
+// leases only the missing cells.
+func (c *Coordinator) seedFromStore() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var fps []string
+	for _, it := range c.pending {
+		fps = append(fps, it.fp)
+	}
+	cov := c.cfg.Store.Coverage(resultstore.Manifest{Cells: fps})
+	missing := map[int]bool{}
+	for _, i := range cov.Missing {
+		missing[i] = true
+	}
+	var still []*workItem
+	for i, it := range c.pending {
+		if missing[i] {
+			still = append(still, it)
+		} else {
+			it.state = stateDone
+		}
+	}
+	c.pending = still
+	c.dirty = true
+}
+
+// Handler returns the coordinator's HTTP API.
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/lease", c.handleLease)
+	mux.HandleFunc("/v1/push", c.handlePush)
+	mux.HandleFunc("/v1/progress", c.handleProgress)
+	mux.HandleFunc("/v1/coverage", c.handleCoverage)
+	mux.HandleFunc("/v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok\n")
+	})
+	return mux
+}
+
+// bumpLocked advances the generation and wakes long-pollers.
+func (c *Coordinator) bumpLocked() {
+	c.gen++
+	close(c.notify)
+	c.notify = make(chan struct{})
+}
+
+// changed returns a channel closed at the next state change.
+func (c *Coordinator) changed() <-chan struct{} {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.notify
+}
+
+// Done is closed once every scheduled cell is done or failed.
+func (c *Coordinator) Done() <-chan struct{} { return c.done }
+
+// checkCompleteLocked closes the done channel when nothing is left.
+func (c *Coordinator) checkCompleteLocked() {
+	if c.complete {
+		return
+	}
+	for _, it := range c.items {
+		if it.state != stateDone && it.state != stateFailed {
+			return
+		}
+	}
+	c.complete = true
+	close(c.done)
+}
+
+// reapLocked expires overdue leases: the cell requeues (or fails after
+// MaxExpiries timeouts), so a crashed worker costs one timeout.
+// Leases are processed in sorted id order so requeue order (and any
+// resulting failure messages) is deterministic.
+func (c *Coordinator) reapLocked(now time.Time) {
+	ids := make([]string, 0, len(c.leases))
+	for id := range c.leases {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	changedAny := false
+	for _, id := range ids {
+		l := c.leases[id]
+		if now.Before(l.deadline) {
+			continue
+		}
+		delete(c.leases, id)
+		changedAny = true
+		it := l.item
+		if it.state != stateLeased {
+			continue // a late push already completed the cell
+		}
+		it.expiries++
+		if it.expiries > c.cfg.MaxExpiries {
+			it.state = stateFailed
+			it.failMsg = fmt.Sprintf("lease expired %d times (workers keep dying on this cell)", it.expiries)
+		} else {
+			it.state = statePending
+			c.pending = append(c.pending, it)
+			c.dirty = true
+		}
+	}
+	if changedAny {
+		c.bumpLocked()
+		c.checkCompleteLocked()
+	}
+}
+
+// Reap expires overdue leases now; fp8coord runs it on a ticker so
+// progress advances even when no worker traffic arrives.
+func (c *Coordinator) Reap() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.reapLocked(c.cfg.Clock())
+}
+
+// Drain puts the coordinator into shutdown: new lease requests are
+// refused (workers exit after pushing in-flight work) while pushes,
+// progress and coverage keep serving.
+func (c *Coordinator) Drain() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.draining {
+		c.draining = true
+		c.bumpLocked()
+	}
+}
+
+// ActiveLeases reports the outstanding lease count (drain waits on it).
+func (c *Coordinator) ActiveLeases() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.reapLocked(c.cfg.Clock())
+	return len(c.leases)
+}
+
+// PersistCost writes the learned cost model to its store sidecar.
+func (c *Coordinator) PersistCost() error {
+	return c.cost.Persist(c.cfg.Store, c.cfg.CostSidecar)
+}
+
+// Cost exposes the learned model (estimates drive lease order; tests
+// and fp8coord's summary read it).
+func (c *Coordinator) Cost() *CostModel { return c.cost }
+
+// FailedCells returns "exp cell: reason" lines for permanently failed
+// cells, in schedule order.
+func (c *Coordinator) FailedCells() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []string
+	for _, es := range c.exps {
+		for _, it := range es.items {
+			if it.state == stateFailed {
+				out = append(out, fmt.Sprintf("%s %s: %s", es.id, it.key, it.failMsg))
+			}
+		}
+	}
+	return out
+}
+
+// Snapshot returns the current progress view (reaping first, so an
+// expired lease is visible to pollers without worker traffic).
+func (c *Coordinator) Snapshot() ProgressSnapshot {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.reapLocked(c.cfg.Clock())
+	snap := ProgressSnapshot{Gen: c.gen, Draining: c.draining, Complete: c.complete}
+	for _, es := range c.exps {
+		snap.Experiments = append(snap.Experiments, es.progress())
+	}
+	return snap
+}
+
+// AwaitChange blocks until the state generation exceeds gen or the
+// timeout elapses, returning the snapshot either way — the in-process
+// twin of the long-poll endpoint, used by fp8coord's progress logger.
+func (c *Coordinator) AwaitChange(gen int64, timeout time.Duration) ProgressSnapshot {
+	deadline := time.NewTimer(timeout)
+	defer deadline.Stop()
+	for {
+		ch := c.changed()
+		snap := c.Snapshot()
+		if snap.Gen > gen {
+			return snap
+		}
+		select {
+		case <-ch:
+		case <-deadline.C:
+			return c.Snapshot()
+		}
+	}
+}
+
+// lease grants the most expensive pending cell.
+func (c *Coordinator) lease(worker string) LeaseResponse {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.cfg.Clock()
+	c.reapLocked(now)
+	if c.complete {
+		return LeaseResponse{Status: StatusDone}
+	}
+	if c.draining {
+		return LeaseResponse{Status: StatusDraining}
+	}
+	if len(c.pending) == 0 {
+		return LeaseResponse{Status: StatusWait, RetryMs: c.cfg.WaitRetry.Milliseconds()}
+	}
+	if c.dirty {
+		sortPending(c.pending, c.cost)
+		c.dirty = false
+	}
+	it := c.pending[0]
+	c.pending = c.pending[1:]
+	it.state = stateLeased
+	c.seq++
+	id := fmt.Sprintf("l-%d", c.seq)
+	c.leases[id] = &leaseRec{id: id, item: it, worker: worker, deadline: now.Add(c.cfg.LeaseTTL)}
+	c.bumpLocked()
+	return LeaseResponse{Status: StatusLease, Lease: &Lease{
+		ID: id, Exp: it.exp, Index: it.index, Key: it.key,
+		Fingerprint: it.fp, TTLMs: c.cfg.LeaseTTL.Milliseconds(),
+	}}
+}
+
+// push ingests one completed (or failed) cell. Pushes are keyed by
+// fingerprint, not lease: a push arriving after its lease expired is
+// still good work and is accepted (idempotently, if another worker got
+// there first) — the lease only bounds how long the coordinator waits
+// before rescheduling.
+func (c *Coordinator) push(req PushRequest) (PushResponse, int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	it, ok := c.items[req.Fingerprint]
+	if !ok {
+		return PushResponse{}, http.StatusNotFound
+	}
+	// The lease, if still tracked, is finished either way.
+	if l, ok := c.leases[req.LeaseID]; ok && l.item == it {
+		delete(c.leases, req.LeaseID)
+	}
+	defer func() {
+		c.bumpLocked()
+		c.checkCompleteLocked()
+	}()
+	if req.Err != "" {
+		if it.state != stateDone {
+			it.state = stateFailed
+			it.failMsg = req.Err
+		}
+		return PushResponse{Status: PushFailedRecorded}, http.StatusOK
+	}
+	status, err := c.cfg.Store.IngestCell(req.Fingerprint, req.Payload)
+	if err != nil {
+		// Two differing valid payloads for one fingerprint: the exact
+		// Store.Merge conflict, surfaced as 409 so the worker fails
+		// loudly instead of the coordinator picking a side.
+		return PushResponse{}, http.StatusConflict
+	}
+	if it.state != stateDone {
+		it.state = stateDone
+	}
+	if req.Computed && req.DurationMs > 0 {
+		c.cost.Observe(req.Fingerprint, it.axes, time.Duration(req.DurationMs*float64(time.Millisecond)))
+		// Persist opportunistically so a killed coordinator keeps its
+		// learning; the write is atomic and tiny.
+		_ = c.cost.Persist(c.cfg.Store, c.cfg.CostSidecar)
+		c.dirty = true
+	}
+	if status == resultstore.IngestIdentical {
+		return PushResponse{Status: PushIdentical}, http.StatusOK
+	}
+	return PushResponse{Status: PushStored}, http.StatusOK
+}
+
+// ---- HTTP plumbing ----
+
+func writeJSON(w http.ResponseWriter, code int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{"POST only"})
+		return
+	}
+	var req LeaseRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{"bad lease request: " + err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, c.lease(req.Worker))
+}
+
+func (c *Coordinator) handlePush(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{"POST only"})
+		return
+	}
+	var req PushRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{"bad push request: " + err.Error()})
+		return
+	}
+	resp, code := c.push(req)
+	if code != http.StatusOK {
+		msg := fmt.Sprintf("push rejected for cell %s", req.Fingerprint)
+		if code == http.StatusConflict {
+			msg = fmt.Sprintf("merge conflict on cell %s: incoming and stored payloads are both valid but differ (fingerprint collision or nondeterministic cell)", req.Fingerprint)
+		}
+		writeJSON(w, code, errorResponse{msg})
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleProgress long-polls: with ?gen=N it blocks until the state
+// generation exceeds N (or timeout_ms elapses), so a watcher gets an
+// update per state change instead of hammering the endpoint.
+func (c *Coordinator) handleProgress(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{"GET only"})
+		return
+	}
+	gen := int64(-1)
+	if v := r.URL.Query().Get("gen"); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errorResponse{"bad gen: " + err.Error()})
+			return
+		}
+		gen = n
+	}
+	timeout := 30 * time.Second
+	if v := r.URL.Query().Get("timeout_ms"); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil || n < 0 {
+			writeJSON(w, http.StatusBadRequest, errorResponse{"bad timeout_ms"})
+			return
+		}
+		timeout = time.Duration(n) * time.Millisecond
+		if timeout > 2*time.Minute {
+			timeout = 2 * time.Minute
+		}
+	}
+	deadline := time.NewTimer(timeout)
+	defer deadline.Stop()
+	for {
+		ch := c.changed()
+		snap := c.Snapshot()
+		if snap.Gen > gen {
+			writeJSON(w, http.StatusOK, snap)
+			return
+		}
+		select {
+		case <-ch:
+		case <-deadline.C:
+			writeJSON(w, http.StatusOK, snap)
+			return
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// handleCoverage renders the live fp8bench -coverage style table.
+func (c *Coordinator) handleCoverage(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{"GET only"})
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, CoverageText(c.Snapshot()))
+}
+
+// CoverageText formats a snapshot as the familiar coverage table.
+func CoverageText(snap ProgressSnapshot) string {
+	var b []byte
+	b = append(b, fmt.Sprintf("%-14s %-22s %7s %7s %8s %8s %8s %9s\n",
+		"experiment", "grid", "cells", "done", "failed", "leased", "pending", "complete")...)
+	for _, p := range snap.Experiments {
+		b = append(b, fmt.Sprintf("%-14s %-22s %7d %7d %8d %8d %8d %8.1f%%\n",
+			p.Exp, p.Grid, p.Total, p.Done, p.Failed, p.Leased, p.Pending, p.Percent)...)
+	}
+	switch {
+	case snap.Complete:
+		b = append(b, "schedule complete\n"...)
+	case snap.Draining:
+		b = append(b, "draining: no new leases\n"...)
+	}
+	return string(b)
+}

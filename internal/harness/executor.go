@@ -119,6 +119,34 @@ func RunGrid(e Experiment, f Filter, sh Shard) (*Grid, []int, error) {
 	return g, sel, nil
 }
 
+// ComputeCell evaluates the idx-th row-major cell of e's grid through
+// the cache layers (memo, then store, then compute + persist) and
+// returns the cell's key, its result, and whether it was computed
+// fresh rather than served from a cache. It is the lease-driven entry
+// point used by coordinator workers: the coordinator hands out cell
+// indices, the worker computes exactly that cell — panic-isolated like
+// any pool cell — and pushes the payload back. The fresh/cached flag
+// lets workers report honest durations to the coordinator's cost model
+// (a cache hit says nothing about how expensive the cell is).
+func ComputeCell(e Experiment, idx int) (resultstore.CellKey, evalx.Result, bool) {
+	spec := e.Spec()
+	if idx < 0 || idx >= spec.NumCells() {
+		panic(fmt.Sprintf("harness: ComputeCell index %d out of range for %s's %d cells", idx, e.ID(), spec.NumCells()))
+	}
+	c := spec.CellAt(idx)
+	k := spec.CellKey(c)
+	if r, ok := lookupCell(k); ok {
+		return k, r, false
+	}
+	// A concurrent computation of the same cell between the lookup and
+	// here just means cachedCell returns the (identical) memoized
+	// result; reporting it as fresh is harmless — the duration is real.
+	r := cachedCell(k, func() evalx.Result {
+		return runCellSafe(e, spec, c)
+	})
+	return k, r, true
+}
+
 // runCellSafe converts a RunCell panic into an Err-marked result.
 // Cells run on pool worker goroutines, where an escaped panic would
 // kill the whole process — a caller's deferred recover only covers its

@@ -104,36 +104,89 @@ func (s *Store) mergeCell(name string, srcBytes []byte, st *MergeStats) (bool, e
 	if !validCellBytes(srcBytes, fp) {
 		return false, nil
 	}
-	dstPath := filepath.Join(s.dir, name)
+	status, err := s.IngestCell(fp, srcBytes)
+	if err != nil {
+		return false, err
+	}
+	switch status {
+	case IngestStored:
+		st.CellsCopied++
+	case IngestIdentical:
+		st.CellsIdentical++
+	}
+	return true, nil
+}
+
+// IngestStatus reports what IngestCell did with a payload.
+type IngestStatus int
+
+const (
+	// IngestStored means the payload was written (the cell was absent,
+	// or replaced a corrupt entry).
+	IngestStored IngestStatus = iota
+	// IngestIdentical means the destination already held byte-identical
+	// payload; nothing was written.
+	IngestIdentical
+)
+
+// IngestCell applies Store.Merge's conflict rules to a single cell
+// payload arriving as bytes rather than as a sibling store's file —
+// the coordinator's push path. The payload must be a valid
+// current-schema cell envelope whose key hashes to fp (a remote worker
+// encodes it with EncodeCell); anything else is rejected before
+// touching disk. Then: absent → written, byte-identical → skipped,
+// corrupt destination → replaced, and two differing valid payloads →
+// a hard error naming the fingerprint, exactly as in Merge.
+func (s *Store) IngestCell(fp string, payload []byte) (IngestStatus, error) {
+	if s == nil {
+		return 0, fmt.Errorf("resultstore: IngestCell on a nil store")
+	}
+	if !validCellBytes(payload, fp) {
+		return 0, fmt.Errorf("resultstore: ingest payload for cell %s is not a valid current-schema envelope for that fingerprint", fp)
+	}
+	dstPath := filepath.Join(s.dir, "c-"+fp+".json")
 	dstBytes, err := os.ReadFile(dstPath)
 	switch {
 	case os.IsNotExist(err):
-		// Absent in the destination: copy.
-		if werr := s.writeAtomic(dstPath, srcBytes); werr != nil {
-			return false, werr
+		// Absent in the destination: write.
+		if werr := s.writeAtomic(dstPath, payload); werr != nil {
+			return 0, werr
 		}
-		st.CellsCopied++
+		return IngestStored, nil
 	case err != nil:
 		// A destination cell that exists but cannot be read right now
 		// (EACCES, EIO) might hold a different valid payload —
 		// overwriting would silently pick a side, the very thing the
 		// conflict check exists to prevent. Fail and let the caller
 		// retry once the store is readable.
-		return false, fmt.Errorf("resultstore: merge read destination %s: %w", name, err)
-	case bytes.Equal(dstBytes, srcBytes):
-		st.CellsIdentical++
+		return 0, fmt.Errorf("resultstore: ingest read destination c-%s.json: %w", fp, err)
+	case bytes.Equal(dstBytes, payload):
+		return IngestIdentical, nil
 	case !validCellBytes(dstBytes, fp):
 		// The destination holds a torn or corrupt entry; the valid
-		// source replaces it exactly like a recompute would.
-		if werr := s.writeAtomic(dstPath, srcBytes); werr != nil {
-			return false, werr
+		// payload replaces it exactly like a recompute would.
+		if werr := s.writeAtomic(dstPath, payload); werr != nil {
+			return 0, werr
 		}
-		st.CellsCopied++
+		return IngestStored, nil
 	default:
-		return false, fmt.Errorf(
-			"resultstore: merge conflict on cell %s: source and destination hold different valid payloads (fingerprint collision or nondeterministic cell)", fp)
+		return 0, fmt.Errorf(
+			"resultstore: merge conflict on cell %s: incoming and stored payloads are both valid but differ (fingerprint collision or nondeterministic cell)", fp)
 	}
-	return true, nil
+}
+
+// CellBytesByFingerprint returns the raw stored envelope for a cell
+// fingerprint when present and valid — the read half of the push
+// protocol, used to answer idempotent re-pushes.
+func (s *Store) CellBytesByFingerprint(fp string) ([]byte, bool) {
+	if s == nil {
+		return nil, false
+	}
+	b, err := os.ReadFile(filepath.Join(s.dir, "c-"+fp+".json"))
+	if err != nil || !validCellBytes(b, fp) {
+		return nil, false
+	}
+	return b, true
 }
 
 // validCellBytes reports whether b is a current-schema cell envelope

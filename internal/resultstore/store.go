@@ -188,14 +188,28 @@ func (s *Store) LoadCell(k CellKey) (evalx.Result, bool) {
 	return env.Result, true
 }
 
+// EncodeCell returns the exact bytes SaveCell would write for the
+// (key, result) pair — the canonical on-disk cell envelope. Remote
+// workers encode their payloads through it so a pushed cell is
+// byte-identical to the file a local run would have produced, which is
+// what lets IngestCell apply Merge's byte-equality conflict rules to
+// pushed payloads.
+func EncodeCell(k CellKey, r evalx.Result) ([]byte, error) {
+	b, err := json.Marshal(cellEnvelope{Schema: k.Schema, Key: k, Result: r})
+	if err != nil {
+		return nil, fmt.Errorf("resultstore: %w", err)
+	}
+	return b, nil
+}
+
 // SaveCell atomically persists the result under the key.
 func (s *Store) SaveCell(k CellKey, r evalx.Result) error {
 	if s == nil {
 		return nil
 	}
-	b, err := json.Marshal(cellEnvelope{Schema: k.Schema, Key: k, Result: r})
+	b, err := EncodeCell(k, r)
 	if err != nil {
-		return fmt.Errorf("resultstore: %w", err)
+		return err
 	}
 	if err := s.writeAtomic(s.CellPath(k), b); err != nil {
 		return err
