@@ -37,6 +37,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"fp8quant/internal/tensor/kernels"
 )
 
 // Result is one benchmark's measurements. MBPerS is a pointer so
@@ -53,9 +55,15 @@ type Result struct {
 
 // Entry is one recorded benchmark run.
 type Entry struct {
-	Date      string   `json:"date"`
-	Benchtime string   `json:"benchtime,omitempty"`
-	Results   []Result `json:"results"`
+	Date      string `json:"date"`
+	Benchtime string `json:"benchtime,omitempty"`
+	// KernelVariant is the GEMM tier the recording host dispatched
+	// (avx2, sse, generic). -gate only compares entries recorded on the
+	// same tier: allocation counts are deterministic per code path, and
+	// the avx2 tier's 8-row blocking is a different code path. Entries
+	// predating the field (empty) are compatible with any tier.
+	KernelVariant string   `json:"kernel_variant,omitempty"`
+	Results       []Result `json:"results"`
 }
 
 func main() {
@@ -65,6 +73,8 @@ func main() {
 	jsonPath := flag.String("json", "BENCH_kernels.json", "path of the benchmark history file")
 	date := flag.String("date", "", "entry date for -append (default: today, UTC)")
 	benchtime := flag.String("benchtime", "", "benchtime label recorded with the entry")
+	variant := flag.String("variant", string(kernels.Active()),
+		"kernel variant the benchmarks ran on: recorded by -append, matched by -gate (default: this host's dispatch)")
 	flag.Parse()
 
 	modes := 0
@@ -114,7 +124,7 @@ func main() {
 		if d == "" {
 			d = time.Now().UTC().Format("2006-01-02")
 		}
-		entries = append(entries, Entry{Date: d, Benchtime: *benchtime, Results: cur})
+		entries = append(entries, Entry{Date: d, Benchtime: *benchtime, KernelVariant: *variant, Results: cur})
 		buf, err := json.MarshalIndent(entries, "", "  ")
 		if err != nil {
 			fatal(err)
@@ -126,7 +136,7 @@ func main() {
 		return
 	}
 
-	if failures := gate(entries, cur, os.Stdout); failures > 0 {
+	if failures := gate(entries, cur, *variant, os.Stdout); failures > 0 {
 		fmt.Printf("\nbenchgate: %d allocation regression(s) against the recorded baseline\n", failures)
 		os.Exit(1)
 	}
@@ -213,11 +223,17 @@ func readEntries(path string) ([]Entry, error) {
 // gate compares the current run against the latest entry carrying
 // -benchmem counters and returns the number of regressions. Only
 // benchmarks present in both runs participate; wall-clock is not
-// compared.
-func gate(entries []Entry, cur []Result, w io.Writer) int {
+// compared. Entries recorded on a different kernel variant are
+// skipped — the avx2 tier's 8-row blocking is a different code path
+// with its own allocation profile — while legacy entries with no
+// recorded variant match any tier.
+func gate(entries []Entry, cur []Result, variant string, w io.Writer) int {
 	var base map[string]Result
 	baseDate := ""
 	for i := len(entries) - 1; i >= 0; i-- {
+		if entries[i].KernelVariant != "" && entries[i].KernelVariant != variant {
+			continue
+		}
 		for _, r := range entries[i].Results {
 			if r.AllocsPerOp != nil {
 				base = map[string]Result{}
@@ -233,7 +249,7 @@ func gate(entries []Entry, cur []Result, w io.Writer) int {
 		}
 	}
 	if base == nil {
-		fmt.Fprintln(w, "benchgate: no recorded entry carries allocs/op; nothing to gate against")
+		fmt.Fprintf(w, "benchgate: no recorded entry for variant %q carries allocs/op; nothing to gate against\n", variant)
 		return 0
 	}
 

@@ -111,9 +111,48 @@ func TestGate(t *testing.T) {
 	}
 	for _, tc := range cases {
 		var sb strings.Builder
-		if got := gate(baseline, tc.cur, &sb); got != tc.failures {
+		if got := gate(baseline, tc.cur, "sse", &sb); got != tc.failures {
 			t.Errorf("%s: %d failures, want %d\n%s", tc.name, got, tc.failures, sb.String())
 		}
+	}
+}
+
+func TestGateVariantSelection(t *testing.T) {
+	entries := []Entry{
+		// Legacy entry with no recorded variant: compatible with any tier.
+		{Date: "2026-08-01", Results: []Result{
+			{Name: "BenchmarkA", NsPerOp: 100, AllocsPerOp: intp(3)},
+		}},
+		// Later avx2 entry must be skipped when gating an sse run.
+		{Date: "2026-08-08", KernelVariant: "avx2", Results: []Result{
+			{Name: "BenchmarkA", NsPerOp: 50, AllocsPerOp: intp(0)},
+		}},
+	}
+	cur := []Result{{Name: "BenchmarkA", AllocsPerOp: intp(3)}}
+
+	var sb strings.Builder
+	if got := gate(entries, cur, "sse", &sb); got != 0 {
+		t.Errorf("sse gate = %d failures, want 0 (avx2 entry must be skipped)\n%s", got, sb.String())
+	}
+	if !strings.Contains(sb.String(), "2026-08-01") {
+		t.Errorf("sse gate should use the variant-less 2026-08-01 baseline, got:\n%s", sb.String())
+	}
+
+	sb.Reset()
+	if got := gate(entries, cur, "avx2", &sb); got != 1 {
+		t.Errorf("avx2 gate = %d failures, want 1 (3 allocs vs the avx2 entry's 0)\n%s", got, sb.String())
+	}
+
+	// No compatible baseline at all: vacuous pass naming the variant.
+	sb.Reset()
+	only := []Entry{{Date: "2026-08-08", KernelVariant: "avx2", Results: []Result{
+		{Name: "BenchmarkA", AllocsPerOp: intp(0)},
+	}}}
+	if got := gate(only, cur, "generic", &sb); got != 0 {
+		t.Errorf("generic gate = %d failures, want 0 (vacuous)", got)
+	}
+	if !strings.Contains(sb.String(), `"generic"`) {
+		t.Errorf("vacuous-pass message should name the variant, got %q", sb.String())
 	}
 }
 
@@ -171,7 +210,7 @@ func TestTrendEmptyHistory(t *testing.T) {
 func TestGateNoAllocBaseline(t *testing.T) {
 	entries := []Entry{{Date: "legacy", Results: []Result{{Name: "BenchmarkA", NsPerOp: 1}}}}
 	var sb strings.Builder
-	if got := gate(entries, []Result{{Name: "BenchmarkA", AllocsPerOp: intp(99)}}, &sb); got != 0 {
+	if got := gate(entries, []Result{{Name: "BenchmarkA", AllocsPerOp: intp(99)}}, "sse", &sb); got != 0 {
 		t.Errorf("gate without alloc baseline = %d failures, want 0 (vacuous pass)", got)
 	}
 	if !strings.Contains(sb.String(), "nothing to gate") {

@@ -71,6 +71,7 @@ import (
 	"fp8quant/internal/harness"
 	"fp8quant/internal/models"
 	"fp8quant/internal/resultstore"
+	"fp8quant/internal/tensor/kernels"
 )
 
 func main() {
@@ -90,6 +91,15 @@ func main() {
 	workerURL := flag.String("worker", "", "run as a pull-based sweep worker against this fp8coord URL")
 	workerName := flag.String("worker-name", "", "worker identity reported to the coordinator (default host-pid)")
 	flag.Parse()
+	if v := os.Getenv("FP8_KERNEL"); v != "" {
+		// Pin the GEMM tier before any cell runs — a mixed-hardware
+		// worker fleet forces one variant so every store cell carries
+		// the same rounding (merges reject variant mixes).
+		if err := kernels.ForceVariant(kernels.Variant(v)); err != nil {
+			fmt.Fprintf(os.Stderr, "FP8_KERNEL: %v\n", err)
+			os.Exit(1)
+		}
+	}
 	harness.SetWorkers(*workers)
 	if !*noCache && *cacheDir != "" {
 		s, err := resultstore.Open(*cacheDir)
@@ -316,6 +326,10 @@ type expReport struct {
 	Cells      []cellReport       `json:"cells,omitempty"`
 	Values     map[string]float64 `json:"values,omitempty"`
 	Cache      *cacheReport       `json:"cache,omitempty"`
+	// KernelVariant is the GEMM tier this process dispatched (avx2, sse
+	// or generic) — the provenance consumers compare before merging
+	// reports computed on different machines.
+	KernelVariant string `json:"kernel_variant,omitempty"`
 }
 
 // cellReport is one executed grid cell in the -json output.
@@ -437,8 +451,8 @@ func printCoverage(s *resultstore.Store, ids []string) (int, error) {
 	if s == nil {
 		return 0, fmt.Errorf("no result store configured (set -cache-dir, drop -no-cache)")
 	}
-	fmt.Printf("%-14s %-22s %7s %7s %8s %9s  %s\n",
-		"experiment", "grid", "cells", "done", "missing", "complete", "shards")
+	fmt.Printf("%-14s %-22s %7s %7s %8s %9s  %-8s %s\n",
+		"experiment", "grid", "cells", "done", "missing", "complete", "variant", "shards")
 	incomplete := 0
 	for _, id := range ids {
 		e, ok := harness.Get(id)
@@ -465,8 +479,12 @@ func printCoverage(s *resultstore.Store, ids []string) (int, error) {
 			}
 			shards = strings.Join(parts, ",")
 		}
-		fmt.Printf("%-14s %-22s %7d %7d %8d %8.1f%%  %s\n",
-			id, spec.ID, cov.Total, cov.Done, len(cov.Missing), cov.Percent(), shards)
+		variant := "-"
+		if len(m.KernelVariants) > 0 {
+			variant = strings.Join(m.KernelVariants, ",")
+		}
+		fmt.Printf("%-14s %-22s %7d %7d %8d %8.1f%%  %-8s %s\n",
+			id, spec.ID, cov.Total, cov.Done, len(cov.Missing), cov.Percent(), variant, shards)
 	}
 	if incomplete > 0 {
 		fmt.Printf("%d experiment grid(s) incomplete in %s\n", incomplete, s.Dir())
@@ -486,7 +504,7 @@ func runOne(id string, f harness.Filter, sh harness.Shard, jsonMode bool) (out e
 	if !ok {
 		return expReport{ID: id, Error: "unknown experiment"}
 	}
-	out = expReport{ID: id, Title: e.Title()}
+	out = expReport{ID: id, Title: e.Title(), KernelVariant: string(kernels.Active())}
 	s := harness.Store()
 	before := s.Stats()
 	t0 := time.Now()
@@ -519,6 +537,9 @@ func runOne(id string, f harness.Filter, sh harness.Shard, jsonMode bool) (out e
 				fmt.Printf("(result store %s: %d hits, %d misses, %d writes)\n",
 					s.Dir(), c.Hits, c.Misses, c.Writes)
 			}
+			// Parenthesized like the other footers so the byte-identity
+			// smoke comparisons (`grep -v "^("`) skip it.
+			fmt.Printf("(kernel variant: %s)\n", out.KernelVariant)
 			fmt.Println()
 		}
 	}()

@@ -29,6 +29,8 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"path/filepath"
+	"strings"
 )
 
 func floatorderAnalyzer() *Analyzer {
@@ -46,11 +48,12 @@ func runFloatorder(pkgs []*Package) []Finding {
 			continue
 		}
 		for _, f := range p.Files {
+			fmaFile := fmaKernelFile(p.Fset.Position(f.Pos()).Filename)
 			ast.Inspect(f, func(n ast.Node) bool {
 				switch n := n.(type) {
 				case *ast.CallExpr:
 					if fn := calleeFunc(p.Info, n); fn != nil && fn.Pkg() != nil &&
-						fn.Pkg().Path() == "math" && fn.Name() == "FMA" {
+						fn.Pkg().Path() == "math" && fn.Name() == "FMA" && !fmaFile {
 						out = append(out, Finding{Check: "floatorder", Pos: position(p, n),
 							Message: "math.FMA rounds once where the scalar oracle rounds twice; not bit-reproducible by * and +"})
 					}
@@ -79,6 +82,26 @@ func runFloatorder(pkgs []*Package) []Finding {
 
 const contractionMsg = "x*y ± z in one expression invites FMA contraction (arm64/ppc64 fuse it); " +
 	"round the product explicitly: float32(x*y)"
+
+// fmaKernelFile reports whether the file declares itself part of an
+// FMA kernel tier: a base name carrying an "fma" token (fma.go,
+// gemm_fma_amd64.go). Such tiers pin to a fused oracle that rounds
+// once per update, so math.FMA is exactly the sanctioned operation
+// there — the contraction and split-accumulator checks still apply
+// (reassociation breaks the fused oracle too). Everywhere else math.FMA
+// stays a finding: a stray fused op in a two-rounding tier silently
+// changes bits.
+func fmaKernelFile(filename string) bool {
+	base := strings.TrimSuffix(filepath.Base(filename), ".go")
+	for _, tok := range strings.FieldsFunc(base, func(r rune) bool {
+		return r == '_' || r == '.'
+	}) {
+		if tok == "fma" {
+			return true
+		}
+	}
+	return false
+}
 
 // checkFloatBinary reports contractible x*y ± z shapes and float
 // equality comparisons.

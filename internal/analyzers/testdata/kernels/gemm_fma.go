@@ -1,0 +1,30 @@
+// Fixture for the floatorder file-scoped FMA-tier allowance: the base
+// name carries an "fma" token, so math.FMA is the sanctioned operation
+// here (the tier pins to a fused oracle that rounds once per update).
+// Every other floatorder check still applies in such files — an
+// implicit contraction or a reassociated reduction breaks the fused
+// oracle exactly as it breaks the two-rounding one.
+package kernels
+
+import "math"
+
+// Negative: the fused oracle itself — math.FMA is allowed in fma files.
+func fusedOracle(a, b, c float64) float64 {
+	return math.FMA(a, b, c)
+}
+
+// Positive: the allowance is FMA-only; implicit contraction is still a
+// finding even in an fma file.
+func fmaFileContract(a, v, b float32) float32 {
+	return a + v*b // want floatorder "contraction"
+}
+
+// Positive: split accumulators stay banned here too.
+func fmaFileSplitAcc(xs []float64) float64 {
+	var s0, s1 float64
+	for i := 0; i+1 < len(xs); i += 2 {
+		s0 += xs[i]
+		s1 += xs[i+1]
+	}
+	return s0 + s1 // want floatorder "reassociates"
+}

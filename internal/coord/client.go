@@ -23,6 +23,7 @@ import (
 
 	"fp8quant/internal/harness"
 	"fp8quant/internal/resultstore"
+	"fp8quant/internal/tensor/kernels"
 )
 
 // Worker pulls cell leases from a coordinator and pushes results back.
@@ -30,6 +31,10 @@ type Worker struct {
 	// URL is the coordinator base URL (e.g. "http://127.0.0.1:8123").
 	URL string
 	// Name identifies the worker in coordinator bookkeeping and logs.
+	// It also seeds the backoff-jitter RNG, so two workers sharing a
+	// Name retry in lockstep (and confuse lease bookkeeping); cmd
+	// wiring defaults Name to host+pid to keep names distinct — give
+	// explicit names the same property.
 	Name string
 	// HTTP is the client used for all calls. Default: a client with a
 	// 2-minute timeout (long-polls are not used by workers).
@@ -190,6 +195,10 @@ func (w *Worker) computeLease(l Lease, stats *WorkerStats) PushRequest {
 	push.DurationMs = float64(elapsed) / float64(time.Millisecond)
 	push.Computed = computed
 	if computed {
+		// Provenance travels with fresh work only, matching the local
+		// executor: a cache hit says nothing about which tier produced
+		// the stored bytes.
+		push.KernelVariant = string(kernels.Active())
 		stats.Computed++
 	} else {
 		stats.Cached++
@@ -259,14 +268,16 @@ func (w *Worker) backoff(attempt int) time.Duration {
 	return w.jitter(d)
 }
 
-// jitter spreads a delay uniformly over [d/2, d) so workers retrying in
-// lockstep decorrelate.
+// jitter spreads a delay uniformly over [d, 3d/2), treating d as a
+// floor: a StatusWait RetryMs is the coordinator's own estimate of when
+// new work can exist, so sleeping less than it (the old [d/2, d)
+// spread) just hammered the lease endpoint early for nothing. Jitter
+// added on top still decorrelates workers retrying in lockstep.
 func (w *Worker) jitter(d time.Duration) time.Duration {
 	if d <= 1 {
 		return d
 	}
-	half := d / 2
-	return half + time.Duration(w.rng.Int63n(int64(half)))
+	return d + time.Duration(w.rng.Int63n(int64(d/2)))
 }
 
 // sleep waits for d or until the context cancels; false on cancel.

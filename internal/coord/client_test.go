@@ -114,7 +114,10 @@ func TestWorkerRefusesScheduleSkew(t *testing.T) {
 }
 
 // TestWorkerBackoffBounds: backoff grows exponentially from BaseDelay,
-// caps at MaxDelay, and jitter keeps every delay inside [d/2, d).
+// caps at MaxDelay, and jitter treats the computed delay as a floor —
+// every jittered delay lies in [d, 3d/2). The lower bound is the
+// regression guard: jitter once spread over [d/2, d), which let
+// workers sleep less than a server-requested RetryMs.
 func TestWorkerBackoffBounds(t *testing.T) {
 	w := &Worker{Name: "jitter", BaseDelay: 100 * time.Millisecond, MaxDelay: time.Second}
 	w.defaults()
@@ -125,10 +128,40 @@ func TestWorkerBackoffBounds(t *testing.T) {
 		}
 		for i := 0; i < 20; i++ {
 			got := w.backoff(attempt)
-			if got < raw/2 || got >= raw {
-				t.Fatalf("attempt %d: backoff %v outside [%v, %v)", attempt, got, raw/2, raw)
+			if got < raw || got >= raw+raw/2 {
+				t.Fatalf("attempt %d: backoff %v outside [%v, %v)", attempt, got, raw, raw+raw/2)
 			}
 		}
+	}
+}
+
+// TestWorkerWaitHonorsServerRetryMs: a StatusWait response's RetryMs is
+// a floor — the worker must not come back for another lease before it
+// elapses. (The old jitter halved the server's delay half the time.)
+func TestWorkerWaitHonorsServerRetryMs(t *testing.T) {
+	const retryMs = 80
+	var calls atomic.Int64
+	var firstLease, secondLease time.Time
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch calls.Add(1) {
+		case 1:
+			firstLease = time.Now()
+			_ = json.NewEncoder(w).Encode(LeaseResponse{Status: StatusWait, RetryMs: retryMs})
+		default:
+			secondLease = time.Now()
+			_ = json.NewEncoder(w).Encode(LeaseResponse{Status: StatusDone})
+		}
+	}))
+	defer srv.Close()
+	w := &Worker{URL: srv.URL, Name: "waiter", Resolve: resolveOnly()}
+	if _, err := w.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("server saw %d calls, want 2", calls.Load())
+	}
+	if waited := secondLease.Sub(firstLease); waited < retryMs*time.Millisecond {
+		t.Fatalf("worker re-leased after %v, want ≥ %v (server RetryMs is a floor)", waited, retryMs*time.Millisecond)
 	}
 }
 

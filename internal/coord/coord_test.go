@@ -422,6 +422,83 @@ func TestPushRejections(t *testing.T) {
 	}
 }
 
+// TestPushVariantProvenance pins the coordinator's side of kernel-tier
+// provenance: freshly computed pushes stamp the grid manifest with the
+// worker's variant, a second distinct tier is refused before its bytes
+// land, and variant-less pushes (older workers, cache hits) stamp
+// nothing.
+func TestPushVariantProvenance(t *testing.T) {
+	withHarnessState(t)
+	e, _ := newTestExp("prov")
+	store := openStore(t)
+	c := newTestCoord(t, Config{Experiments: []harness.Experiment{e}, Store: store})
+	srv := httptest.NewServer(c.Handler())
+	defer srv.Close()
+
+	doPush := func(req PushRequest) (int, string) {
+		t.Helper()
+		b, _ := json.Marshal(req)
+		resp, err := http.Post(srv.URL+"/v1/push", "application/json", bytes.NewReader(b))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var er errorResponse
+		_ = json.NewDecoder(resp.Body).Decode(&er)
+		return resp.StatusCode, er.Error
+	}
+	variants := func() []string {
+		t.Helper()
+		m, ok := store.LoadManifest(e.spec.ID, e.spec.Seed)
+		if !ok {
+			t.Fatal("grid manifest missing")
+		}
+		return m.KernelVariants
+	}
+
+	// A variant-less push (older worker) stamps nothing.
+	fp0, payload0 := payloadFor(t, e, 0)
+	if code, _ := doPush(PushRequest{Fingerprint: fp0, Payload: payload0, Computed: true}); code != 200 {
+		t.Fatalf("variant-less push = %d, want 200", code)
+	}
+	if v := variants(); len(v) != 0 {
+		t.Fatalf("variants after variant-less push = %v, want none", v)
+	}
+
+	// A fresh compute stamps its tier; a second same-tier push is a no-op.
+	fp1, payload1 := payloadFor(t, e, 1)
+	if code, _ := doPush(PushRequest{Fingerprint: fp1, Payload: payload1, Computed: true, KernelVariant: "sse"}); code != 200 {
+		t.Fatalf("sse push = %d, want 200", code)
+	}
+	fp2, payload2 := payloadFor(t, e, 2)
+	if code, _ := doPush(PushRequest{Fingerprint: fp2, Payload: payload2, Computed: true, KernelVariant: "sse"}); code != 200 {
+		t.Fatalf("second sse push = %d, want 200", code)
+	}
+	if v := variants(); len(v) != 1 || v[0] != "sse" {
+		t.Fatalf("variants after sse pushes = %v, want [sse]", v)
+	}
+
+	// A different tier is refused before its bytes land.
+	fp3, payload3 := payloadFor(t, e, 3)
+	code, msg := doPush(PushRequest{Fingerprint: fp3, Payload: payload3, Computed: true, KernelVariant: "avx2"})
+	if code != http.StatusConflict || !strings.Contains(msg, "kernel variant") {
+		t.Fatalf("avx2 push = %d %q, want 409 naming the variant conflict", code, msg)
+	}
+	if got, ok := store.CellBytesByFingerprint(fp3); ok {
+		t.Fatalf("refused push still stored %d bytes", len(got))
+	}
+	if v := variants(); len(v) != 1 || v[0] != "sse" {
+		t.Fatalf("variants after refused push = %v, want [sse]", v)
+	}
+
+	// A cache-hit push from the other tier (Computed=false) carries no
+	// provenance claim and is accepted — the bytes were produced
+	// elsewhere under the recorded tier.
+	if code, _ := doPush(PushRequest{Fingerprint: fp3, Payload: payload3}); code != 200 {
+		t.Fatalf("cache-hit push = %d, want 200", code)
+	}
+}
+
 // TestCostModelRoundTrip checks persistence through the store sidecar
 // and the estimate fallback chain.
 func TestCostModelRoundTrip(t *testing.T) {

@@ -82,6 +82,15 @@ type PushRequest struct {
 	// Computed is true when the worker actually ran the cell (false for
 	// a local cache hit, whose duration says nothing about cell cost).
 	Computed bool `json:"computed"`
+	// KernelVariant is the GEMM tier the worker dispatched (avx2, sse,
+	// generic), set only for freshly computed cells — the same rule the
+	// local executor uses to stamp manifest provenance. The coordinator
+	// unions it into the grid manifest and refuses a push whose tier
+	// conflicts with the store's recorded one, so a mixed-hardware fleet
+	// fails loudly instead of poisoning the store (pin FP8_KERNEL on
+	// every worker to mix hardware). Empty (older workers) stamps
+	// nothing.
+	KernelVariant string `json:"kernel_variant,omitempty"`
 	// Err marks a cell that could not be evaluated (RunCell panic,
 	// unknown experiment, schedule mismatch). The coordinator records
 	// it as permanently failed — cell failures are deterministic, so

@@ -67,8 +67,9 @@ type Coordinator struct {
 	cost *CostModel
 
 	mu       sync.Mutex
-	items    map[string]*workItem // by fingerprint
-	exps     []*expSchedule       // in configured order
+	items    map[string]*workItem        // by fingerprint
+	specs    map[string]harness.GridSpec // by grid id, for manifest provenance
+	exps     []*expSchedule              // in configured order
 	pending  []*workItem
 	dirty    bool // pending needs re-sorting against fresh estimates
 	leases   map[string]*leaseRec
@@ -107,6 +108,7 @@ func New(cfg Config) (*Coordinator, error) {
 		cfg:    cfg,
 		cost:   LoadCostModel(cfg.Store, cfg.CostSidecar),
 		items:  map[string]*workItem{},
+		specs:  map[string]harness.GridSpec{},
 		leases: map[string]*leaseRec{},
 		notify: make(chan struct{}),
 		done:   make(chan struct{}),
@@ -139,6 +141,9 @@ func New(cfg Config) (*Coordinator, error) {
 		// overwrite it (same rule as the local executor).
 		if spec.NumCells() > 0 && len(sel) == spec.NumCells() {
 			saveManifest(cfg.Store, spec)
+		}
+		if spec.NumCells() > 0 {
+			c.specs[spec.ID] = spec
 		}
 	}
 	c.seedFromStore()
@@ -392,13 +397,13 @@ func (c *Coordinator) lease(worker string) LeaseResponse {
 // fingerprint, not lease: a push arriving after its lease expired is
 // still good work and is accepted (idempotently, if another worker got
 // there first) — the lease only bounds how long the coordinator waits
-// before rescheduling.
-func (c *Coordinator) push(req PushRequest) (PushResponse, int) {
+// before rescheduling. A non-"" msg describes the rejection.
+func (c *Coordinator) push(req PushRequest) (PushResponse, int, string) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	it, ok := c.items[req.Fingerprint]
 	if !ok {
-		return PushResponse{}, http.StatusNotFound
+		return PushResponse{}, http.StatusNotFound, fmt.Sprintf("push rejected for cell %s", req.Fingerprint)
 	}
 	// The lease, if still tracked, is finished either way.
 	if l, ok := c.leases[req.LeaseID]; ok && l.item == it {
@@ -413,14 +418,26 @@ func (c *Coordinator) push(req PushRequest) (PushResponse, int) {
 			it.state = stateFailed
 			it.failMsg = req.Err
 		}
-		return PushResponse{Status: PushFailedRecorded}, http.StatusOK
+		return PushResponse{Status: PushFailedRecorded}, http.StatusOK, ""
+	}
+	// Variant provenance gates the ingest: a freshly computed cell from
+	// a different GEMM tier than the store's recorded one is refused
+	// before its bytes land, so a mixed-hardware fleet fails at push
+	// time instead of poisoning the store.
+	if req.Computed && req.KernelVariant != "" {
+		if spec, ok := c.specs[it.grid]; ok {
+			if err := stampVariant(c.cfg.Store, spec, req.KernelVariant); err != nil {
+				return PushResponse{}, http.StatusConflict, err.Error()
+			}
+		}
 	}
 	status, err := c.cfg.Store.IngestCell(req.Fingerprint, req.Payload)
 	if err != nil {
 		// Two differing valid payloads for one fingerprint: the exact
 		// Store.Merge conflict, surfaced as 409 so the worker fails
 		// loudly instead of the coordinator picking a side.
-		return PushResponse{}, http.StatusConflict
+		return PushResponse{}, http.StatusConflict,
+			fmt.Sprintf("merge conflict on cell %s: incoming and stored payloads are both valid but differ (fingerprint collision or nondeterministic cell)", req.Fingerprint)
 	}
 	if it.state != stateDone {
 		it.state = stateDone
@@ -433,9 +450,34 @@ func (c *Coordinator) push(req PushRequest) (PushResponse, int) {
 		c.dirty = true
 	}
 	if status == resultstore.IngestIdentical {
-		return PushResponse{Status: PushIdentical}, http.StatusOK
+		return PushResponse{Status: PushIdentical}, http.StatusOK, ""
 	}
-	return PushResponse{Status: PushStored}, http.StatusOK
+	return PushResponse{Status: PushStored}, http.StatusOK, ""
+}
+
+// stampVariant unions a worker-reported kernel tier into the grid's
+// manifest, mirroring the local executor's provenance rule (only fresh
+// computes stamp; warm traffic leaves manifest bytes untouched) and
+// Store.Merge's mixing rule: a second distinct tier is an error (pin
+// FP8_KERNEL on every worker to run a sweep on mixed hardware).
+func stampVariant(s *resultstore.Store, spec harness.GridSpec, variant string) error {
+	m, ok := s.LoadManifest(spec.ID, spec.Seed)
+	if !ok {
+		return nil
+	}
+	merged := resultstore.UnionVariants(m.KernelVariants, []string{variant})
+	if len(merged) > 1 {
+		return fmt.Errorf("kernel variant %q conflicts with the store's recorded %v for grid %s: a sweep must stay on one tier (set FP8_KERNEL on every worker)",
+			variant, m.KernelVariants, spec.ID)
+	}
+	if len(merged) == len(m.KernelVariants) {
+		return nil
+	}
+	m.KernelVariants = merged
+	// A failed manifest write only degrades provenance reporting; the
+	// cell payloads are still content-addressed and safe.
+	_ = s.SaveManifest(m)
+	return nil
 }
 
 // ---- HTTP plumbing ----
@@ -470,12 +512,8 @@ func (c *Coordinator) handlePush(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorResponse{"bad push request: " + err.Error()})
 		return
 	}
-	resp, code := c.push(req)
+	resp, code, msg := c.push(req)
 	if code != http.StatusOK {
-		msg := fmt.Sprintf("push rejected for cell %s", req.Fingerprint)
-		if code == http.StatusConflict {
-			msg = fmt.Sprintf("merge conflict on cell %s: incoming and stored payloads are both valid but differ (fingerprint collision or nondeterministic cell)", req.Fingerprint)
-		}
 		writeJSON(w, code, errorResponse{msg})
 		return
 	}

@@ -83,19 +83,28 @@ func lookupCell(k resultstore.CellKey) (evalx.Result, bool) {
 // Concurrent callers with the same key may compute twice; both arrive
 // at identical results, so last-write-wins is safe.
 func cachedCell(k resultstore.CellKey, compute func() evalx.Result) evalx.Result {
+	r, _ := cachedCellFresh(k, compute)
+	return r
+}
+
+// cachedCellFresh is cachedCell plus a flag reporting whether the cell
+// was computed fresh rather than served from a cache layer — the
+// provenance signal: only fresh cells carry the current kernel
+// variant's bits into the store.
+func cachedCellFresh(k resultstore.CellKey, compute func() evalx.Result) (evalx.Result, bool) {
 	fp := k.Fingerprint()
 	cacheMu.Lock()
 	r, ok := memo[fp]
 	s := store
 	cacheMu.Unlock()
 	if ok {
-		return r
+		return r, false
 	}
 	if r, ok := s.LoadCell(k); ok {
 		cacheMu.Lock()
 		memo[fp] = r
 		cacheMu.Unlock()
-		return r
+		return r, false
 	}
 	r = compute()
 	if r.Err == "" {
@@ -108,5 +117,5 @@ func cachedCell(k resultstore.CellKey, compute func() evalx.Result) evalx.Result
 	cacheMu.Lock()
 	memo[fp] = r
 	cacheMu.Unlock()
-	return r
+	return r, true
 }

@@ -18,6 +18,7 @@ import (
 
 	"fp8quant/internal/evalx"
 	"fp8quant/internal/resultstore"
+	"fp8quant/internal/tensor/kernels"
 )
 
 // ErrNotSelected marks the cells of a filtered run that were excluded
@@ -101,20 +102,24 @@ func RunGrid(e Experiment, f Filter, sh Shard) (*Grid, []int, error) {
 			}
 		}
 	}
-	var done atomic.Int64
+	var done, fresh atomic.Int64
 	reportProgress(e.ID(), 0, len(mine))
 	forEachCell(len(mine), func(k int) {
 		c := spec.CellAt(mine[k])
-		g.Results[mine[k]] = cachedCell(spec.CellKey(c), func() evalx.Result {
+		r, computed := cachedCellFresh(spec.CellKey(c), func() evalx.Result {
 			return runCellSafe(e, spec, c)
 		})
+		g.Results[mine[k]] = r
+		if computed {
+			fresh.Add(1)
+		}
 		reportProgress(e.ID(), int(done.Add(1)), len(mine))
 	})
 	// A full-schedule run (sharded or not) knows the complete cell set;
 	// record it so coverage tooling and store merges can reason about
 	// the sweep without re-deriving the spec.
 	if s := Store(); s != nil && len(sel) == n {
-		saveManifest(s, spec, sh)
+		saveManifest(s, spec, sh, fresh.Load() > 0)
 	}
 	return g, sel, nil
 }
@@ -141,7 +146,7 @@ func ComputeCell(e Experiment, idx int) (resultstore.CellKey, evalx.Result, bool
 	// A concurrent computation of the same cell between the lookup and
 	// here just means cachedCell returns the (identical) memoized
 	// result; reporting it as fresh is harmless — the duration is real.
-	r := cachedCell(k, func() evalx.Result {
+	r, _ := cachedCellFresh(k, func() evalx.Result {
 		return runCellSafe(e, spec, c)
 	})
 	return k, r, true
@@ -215,21 +220,29 @@ func formatMetrics(m map[string]float64) string {
 // zoo), and a stale manifest would misreport store coverage forever.
 // A sharded run stamps its shard record into the manifest's provenance
 // (preserving records already there), so a store can tell which slices
-// of a distributed sweep have run against it. The load-union-save is
+// of a distributed sweep have run against it; a run that computed at
+// least one fresh cell stamps the active kernel variant the same way
+// (a fully warm run contributes no new bits, so its variant is not
+// provenance — in particular it leaves a pre-variant store's manifest
+// byte-identical). The load-union-save is
 // not atomic across processes: two shards finishing simultaneously
 // against the *same* store can each miss the other's record (the
 // intended deployment is one store per shard, merged afterwards, where
 // Merge performs the union race-free). Only the provenance column of
 // -coverage is affected — cells are content-addressed and unharmed.
-func saveManifest(s *resultstore.Store, spec GridSpec, sh Shard) {
+func saveManifest(s *resultstore.Store, spec GridSpec, sh Shard, computedFresh bool) {
 	m := ManifestFor(spec)
 	old, ok := s.LoadManifest(spec.ID, spec.Seed)
 	if ok && old.SameSchedule(m) {
 		m.Shards = old.Shards
+		m.KernelVariants = old.KernelVariants
 	}
 	if sh.Enabled() {
 		rec := resultstore.ShardRecord{Index: sh.Index, Count: sh.Count}
 		m.Shards = resultstore.UnionShards(m.Shards, []resultstore.ShardRecord{rec})
+	}
+	if computedFresh {
+		m.KernelVariants = resultstore.UnionVariants(m.KernelVariants, []string{string(kernels.Active())})
 	}
 	if ok && reflect.DeepEqual(old, m) {
 		return

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"bytes"
 	"fmt"
 	"os"
 	"reflect"
@@ -10,6 +11,7 @@ import (
 
 	"fp8quant/internal/evalx"
 	"fp8quant/internal/resultstore"
+	"fp8quant/internal/tensor/kernels"
 )
 
 // newExecTestExp returns a cheap deterministic 3x2 grid experiment and
@@ -251,6 +253,33 @@ func TestRunGridWritesManifest(t *testing.T) {
 	}
 	if m.Cells[0] != spec.CellKey(spec.CellAt(0)).Fingerprint() {
 		t.Error("manifest cell fingerprints disagree with the spec")
+	}
+	// The cold run computed fresh cells, so it stamps the dispatched
+	// kernel variant into the manifest's provenance.
+	if len(m.KernelVariants) != 1 || m.KernelVariants[0] != string(kernels.Active()) {
+		t.Errorf("cold-run manifest variants = %v, want [%s]", m.KernelVariants, kernels.Active())
+	}
+	// A fully warm re-run serves everything from the store: it must not
+	// restamp (nor otherwise rewrite) the manifest — a pre-variant
+	// store's manifest stays byte-identical across warm runs.
+	path := s.ManifestPath(spec.ID, spec.Seed)
+	legacy := m
+	legacy.KernelVariants = nil
+	if err := s.SaveManifest(legacy); err != nil {
+		t.Fatal(err)
+	}
+	before, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ClearMemo()
+	Run(e)
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before, after) {
+		t.Error("warm run rewrote the manifest of a variant-less store")
 	}
 }
 

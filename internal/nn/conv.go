@@ -116,7 +116,10 @@ func (c *Conv2d) forwardInto(a *tensor.Arena, y, x *tensor.Tensor, n, h, w, oh, 
 	// Degenerate GEMMs (depthwise: ocg=1, kdim=K²) spend more on the
 	// gather/pack/scatter round trip than the multiply; the direct loop
 	// wins there. Both paths are bit-identical, so this is purely a
-	// performance dispatch.
+	// performance dispatch: the GEMMs below pass NoFused so the kernel
+	// keeps two-rounding semantics under every variant, matching the
+	// scalar convPixel loop this dispatch (and the border ring) runs.
+	// Convolution outputs are therefore variant-independent.
 	if npix == 0 || ocg*kdim < 64 {
 		c.forwardDirect(y, x, n, h, w, oh, ow)
 		return
@@ -138,7 +141,7 @@ func (c *Conv2d) forwardInto(a *tensor.Arena, y, x *tensor.Tensor, n, h, w, oh, 
 			for ni := 0; ni < n; ni++ {
 				c.im2col(patches, x, ni, g, h, w, y0, y1, x0, x1)
 				kernels.GemmPacked(scratch, patches, panel, npix, kdim, ocg,
-					kernels.Opt{Bias: bias, Prologue: true, Serial: true})
+					kernels.Opt{Bias: bias, Prologue: true, Serial: true, NoFused: true})
 				c.scatter(y, scratch, ni, g, oh, ow, y0, y1, x0, x1)
 			}
 		}
@@ -166,7 +169,8 @@ func (c *Conv2d) forwardInto(a *tensor.Arena, y, x *tensor.Tensor, n, h, w, oh, 
 			c.im2col(*patches, x, ni, g, h, w, y0, y1, x0, x1)
 			// Prologue bias: the accumulator starts at the bias, exactly
 			// like the direct loop's acc := bias.
-			kernels.GemmPacked(*scratch, *patches, *panel, npix, kdim, ocg, kernels.Opt{Bias: bias, Prologue: true})
+			kernels.GemmPacked(*scratch, *patches, *panel, npix, kdim, ocg,
+				kernels.Opt{Bias: bias, Prologue: true, NoFused: true})
 			c.scatter(y, *scratch, ni, g, oh, ow, y0, y1, x0, x1)
 		}
 		kernels.PutScratch(panel)

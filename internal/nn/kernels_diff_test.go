@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"fp8quant/internal/tensor"
+	"fp8quant/internal/tensor/kernels"
 )
 
 // These differential tests pin every layer routed through the blocked
@@ -143,8 +144,11 @@ func TestConv2dInfWeightBitIdentical(t *testing.T) {
 	requireBitsEqual(t, got.Data, want.Data, "Conv2d with Inf weight")
 }
 
-// batchMatMulOracle is the pre-kernel BatchMatMul loop pair.
+// batchMatMulOracle is the pre-kernel BatchMatMul loop pair, built on
+// the active variant's scalar multiply-accumulate (each yi[j] is a
+// single accumulator updated in ascending-k order).
 func batchMatMulOracle(a, b *tensor.Tensor, transB bool) []float32 {
+	madd := kernels.RefMadd(kernels.Active())
 	M := a.Shape[a.Rank()-2]
 	K := a.Shape[a.Rank()-1]
 	var N int
@@ -169,7 +173,7 @@ func batchMatMulOracle(a, b *tensor.Tensor, transB bool) []float32 {
 					av := ai[k]
 					bk := bm[k*N : (k+1)*N]
 					for j := range yi {
-						yi[j] += av * bk[j]
+						yi[j] = madd(yi[j], av, bk[j])
 					}
 				}
 			}

@@ -73,8 +73,12 @@ func (l *Linear) ForwardArena(a *tensor.Arena, x *tensor.Tensor) *tensor.Tensor 
 // Accumulation is float32, matching typical FP8-with-FP32-accumulate
 // hardware behaviour emulated by the paper. It is the scalar oracle
 // the blocked kernels.GemmT path is pinned against by the
-// differential tests in kernels_diff_test.go.
+// differential tests in kernels_diff_test.go: a single accumulator in
+// ascending-k order, using the active variant's multiply-accumulate
+// (two roundings on the generic/sse tiers, the exactly-rounded fused
+// step on avx2).
 func matmulT(y, x, w []float32, rows, in, out int) {
+	madd := kernels.RefMadd(kernels.Active())
 	for r := 0; r < rows; r++ {
 		xr := x[r*in : (r+1)*in]
 		yr := y[r*out : (r+1)*out]
@@ -82,7 +86,7 @@ func matmulT(y, x, w []float32, rows, in, out int) {
 			wo := w[o*in : (o+1)*in]
 			var acc float32
 			for k := range xr {
-				acc += xr[k] * wo[k]
+				acc = madd(acc, xr[k], wo[k])
 			}
 			yr[o] = acc
 		}
@@ -115,11 +119,18 @@ func (m *MatMulOp) Apply(a, b *tensor.Tensor) *tensor.Tensor {
 	return m.ApplyArena(nil, a, b)
 }
 
-// ApplyArena is Apply with intermediates carved from ar.
+// ApplyArena is Apply with intermediates carved from ar. The b operand
+// is the one the GEMM packs into panels, so when its QState carries a
+// fused quantizer the fake-quant folds into packing — no quantized
+// copy of b is materialized, and the result is bit-identical to the
+// copy path by the RowQuantFactory contract.
 func (m *MatMulOp) ApplyArena(ar *tensor.Arena, a, b *tensor.Tensor) *tensor.Tensor {
 	a = m.QA.applyIn(ar, a)
+	if q := m.QB.fusedQuant(b); q != nil {
+		return batchMatMul(ar, a, b, false, q)
+	}
 	b = m.QB.applyIn(ar, b)
-	return BatchMatMulArena(ar, a, b, false)
+	return batchMatMul(ar, a, b, false, nil)
 }
 
 // BatchMatMulOp is the BMM leaf used inside attention (QKᵀ and PV).
@@ -145,11 +156,16 @@ func (m *BatchMatMulOp) Apply(a, b *tensor.Tensor) *tensor.Tensor {
 	return m.ApplyArena(nil, a, b)
 }
 
-// ApplyArena is Apply with intermediates carved from ar.
+// ApplyArena is Apply with intermediates carved from ar; like
+// MatMulOp, a fused quantizer on the b operand folds into panel
+// packing.
 func (m *BatchMatMulOp) ApplyArena(ar *tensor.Arena, a, b *tensor.Tensor) *tensor.Tensor {
 	a = m.QA.applyIn(ar, a)
+	if q := m.QB.fusedQuant(b); q != nil {
+		return batchMatMul(ar, a, b, m.TransposeB, q)
+	}
 	b = m.QB.applyIn(ar, b)
-	return BatchMatMulArena(ar, a, b, m.TransposeB)
+	return batchMatMul(ar, a, b, m.TransposeB, nil)
 }
 
 // BatchMatMul multiplies batched matrices: a is [batch..., M, K] and b
@@ -165,6 +181,14 @@ func BatchMatMul(a, b *tensor.Tensor, transB bool) *tensor.Tensor {
 // parallel path uses; the kernels' bit-identity contract makes the
 // results byte-equal for any fan-out.
 func BatchMatMulArena(ar *tensor.Arena, a, b *tensor.Tensor, transB bool) *tensor.Tensor {
+	return batchMatMul(ar, a, b, transB, nil)
+}
+
+// batchMatMul is the shared batched-multiply body. A non-nil q is a
+// chunkable fake-quantizer (whole-tensor statistics already bound, see
+// QState.fusedQuant) applied to b during panel packing — the fused
+// form of quantize-b-then-multiply, byte-identical to it.
+func batchMatMul(ar *tensor.Arena, a, b *tensor.Tensor, transB bool, q kernels.QuantFunc) *tensor.Tensor {
 	if a.Rank() < 2 || b.Rank() < 2 {
 		panic("nn: BatchMatMul needs rank >= 2")
 	}
@@ -191,15 +215,24 @@ func BatchMatMulArena(ar *tensor.Arena, a, b *tensor.Tensor, transB bool) *tenso
 	// matmulT (transB) and k-outer (natural) loops bit for bit.
 	if ar != nil {
 		panel := ar.Alloc(kernels.PanelFloats(K, N))
+		var stage []float32
+		if q != nil {
+			stage = ar.Alloc(kernels.QuantStageFloats(K, N))
+		}
 		for bi := 0; bi < batch; bi++ {
 			am := a.Data[bi*M*K : (bi+1)*M*K]
 			bm := b.Data[bi*K*N : (bi+1)*K*N]
 			ym := y.Data[bi*M*N : (bi+1)*M*N]
 			// Repacking overwrites the panel fully (including the
 			// zero tail), so reuse across batch elements is exact.
-			if transB {
+			switch {
+			case q != nil && transB:
+				kernels.PackTQuantInto(panel, stage, bm, K, N, q)
+			case q != nil:
+				kernels.PackNQuantInto(panel, stage, bm, K, N, q)
+			case transB:
 				kernels.PackTInto(panel, bm, K, N)
-			} else {
+			default:
 				kernels.PackNInto(panel, bm, K, N)
 			}
 			kernels.GemmPacked(ym, am, panel, M, K, N, kernels.Opt{Serial: true})
@@ -207,7 +240,7 @@ func BatchMatMulArena(ar *tensor.Arena, a, b *tensor.Tensor, transB bool) *tenso
 		return y
 	}
 	if batch == 1 {
-		batchMatMulOne(y.Data, a.Data, b.Data, M, K, N, transB, false)
+		batchMatMulOne(y.Data, a.Data, b.Data, M, K, N, transB, false, q)
 		return y
 	}
 	tensor.ParallelFor(batch, 1, func(lo, hi int) {
@@ -215,7 +248,7 @@ func BatchMatMulArena(ar *tensor.Arena, a, b *tensor.Tensor, transB bool) *tenso
 			am := a.Data[bi*M*K : (bi+1)*M*K]
 			bm := b.Data[bi*K*N : (bi+1)*K*N]
 			ym := y.Data[bi*M*N : (bi+1)*M*N]
-			batchMatMulOne(ym, am, bm, M, K, N, transB, true)
+			batchMatMulOne(ym, am, bm, M, K, N, transB, true, q)
 		}
 	})
 	return y
@@ -237,12 +270,18 @@ func newLike2(ar *tensor.Arena, a *tensor.Tensor, M, N int) *tensor.Tensor {
 
 // batchMatMulOne multiplies one batch element through the blocked
 // kernels; serial kernels are used when the batch loop itself is the
-// parallel axis.
-func batchMatMulOne(y, a, b []float32, M, K, N int, transB, serial bool) {
+// parallel axis. A non-nil q routes through the fused-quant entry
+// points (quantize-during-pack).
+func batchMatMulOne(y, a, b []float32, M, K, N int, transB, serial bool, q kernels.QuantFunc) {
 	opt := kernels.Opt{Serial: serial}
-	if transB {
+	switch {
+	case q != nil && transB:
+		kernels.GemmTQuant(y, a, b, M, K, N, q, opt)
+	case q != nil:
+		kernels.GemmNQuant(y, a, b, M, K, N, q, opt)
+	case transB:
 		kernels.GemmT(y, a, b, M, K, N, opt)
-	} else {
+	default:
 		kernels.GemmN(y, a, b, M, K, N, opt)
 	}
 }

@@ -1,0 +1,25 @@
+package nn
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"fp8quant/internal/tensor/kernels"
+)
+
+// TestMain honors the FP8_KERNEL pin exactly like the kernels package:
+// the nn differential oracles build on kernels.RefMadd(kernels.Active()),
+// so forcing a variant here runs every layer-level bit-identity test
+// under that tier (the CI workflow does this once per variant).
+func TestMain(m *testing.M) {
+	if v := os.Getenv("FP8_KERNEL"); v != "" {
+		if err := kernels.ForceVariant(kernels.Variant(v)); err != nil {
+			// A variant the host cannot run is a vacuous pass for that
+			// matrix step, same as in the kernels package.
+			fmt.Printf("nn: %v; skipping forced-variant run\n", err)
+			os.Exit(0)
+		}
+	}
+	os.Exit(m.Run())
+}

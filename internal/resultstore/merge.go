@@ -222,7 +222,17 @@ func (s *Store) mergeManifest(srcBytes []byte) (int, bool, error) {
 	}
 	merged := old
 	merged.Shards = UnionShards(old.Shards, sm.Shards)
-	if len(merged.Shards) == len(old.Shards) {
+	merged.KernelVariants = UnionVariants(old.KernelVariants, sm.KernelVariants)
+	if len(merged.KernelVariants) > 1 {
+		// Cells from a fused tier are bit-incompatible with cells from
+		// the two-rounding tiers; silently mixing them would make warm
+		// runs nondeterministic across the merge. (Legacy manifests with
+		// no variant recorded union harmlessly as the empty set.)
+		return 0, true, fmt.Errorf(
+			"resultstore: merge conflict on manifest for grid %q seed %d: stores hold cells from different kernel variants %v (recompute one side on the other's tier)",
+			sm.Grid, sm.Seed, merged.KernelVariants)
+	}
+	if len(merged.Shards) == len(old.Shards) && len(merged.KernelVariants) == len(old.KernelVariants) {
 		return 0, true, nil // nothing new
 	}
 	if err := s.SaveManifest(merged); err != nil {
@@ -248,6 +258,21 @@ func UnionShards(a, b []ShardRecord) []ShardRecord {
 		}
 		return out[i].Index < out[j].Index
 	})
+	return out
+}
+
+// UnionVariants merges two kernel-variant lists, deduplicated and
+// sorted so the union is order-independent.
+func UnionVariants(a, b []string) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, v := range append(append([]string{}, a...), b...) {
+		if v != "" && !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	sort.Strings(out)
 	return out
 }
 

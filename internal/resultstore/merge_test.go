@@ -228,6 +228,45 @@ func TestMergeManifestUnionsShards(t *testing.T) {
 	}
 }
 
+// TestMergeManifestKernelVariantRules: same-variant (and legacy
+// variant-less) manifests union cleanly; manifests recording different
+// kernel variants refuse to merge, because their cells carry
+// bit-incompatible rounding.
+func TestMergeManifestKernelVariantRules(t *testing.T) {
+	dst, _ := Open(t.TempDir())
+	src, _ := Open(t.TempDir())
+	m := testManifest() // legacy: no variant recorded
+	if err := dst.SaveManifest(m); err != nil {
+		t.Fatal(err)
+	}
+	mv := testManifest()
+	mv.KernelVariants = []string{"sse"}
+	if err := src.SaveManifest(mv); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dst.Merge(src); err != nil {
+		t.Fatalf("legacy ∪ sse must merge: %v", err)
+	}
+	got, _ := dst.LoadManifest(m.Grid, m.Seed)
+	if len(got.KernelVariants) != 1 || got.KernelVariants[0] != "sse" {
+		t.Fatalf("merged variants = %v, want [sse]", got.KernelVariants)
+	}
+	// Idempotent: same variant again writes nothing.
+	if st, err := dst.Merge(src); err != nil || st.Manifests != 0 {
+		t.Fatalf("same-variant re-merge = %+v, %v; want no writes", st, err)
+	}
+	// A store produced on a different tier must be rejected.
+	src2, _ := Open(t.TempDir())
+	mx := testManifest()
+	mx.KernelVariants = []string{"avx2"}
+	if err := src2.SaveManifest(mx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dst.Merge(src2); err == nil || !strings.Contains(err.Error(), "kernel variants") {
+		t.Errorf("sse ∪ avx2 must refuse to merge, got %v", err)
+	}
+}
+
 func TestMergeManifestScheduleConflictErrors(t *testing.T) {
 	dst, _ := Open(t.TempDir())
 	src, _ := Open(t.TempDir())

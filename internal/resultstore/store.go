@@ -77,6 +77,14 @@ type Manifest struct {
 	// store — provenance for distributed sweeps. It is not part of the
 	// schedule: Merge unions it across stores whose schedules agree.
 	Shards []ShardRecord `json:"shards,omitempty"`
+	// KernelVariants records which GEMM kernel variants produced cells
+	// in this store (empty for pre-variant stores and runs that served
+	// everything from cache). Like Shards it is provenance, not
+	// schedule — but Merge refuses a union of more than one distinct
+	// variant, because the avx2 tier's fused rounding makes its cells
+	// bit-incompatible with two-rounding tiers' and a mixed store would
+	// poison warm-run byte-identity silently.
+	KernelVariants []string `json:"kernel_variants,omitempty"`
 }
 
 // ShardRecord identifies one slice of a sharded grid run: the 0-based
@@ -87,10 +95,11 @@ type ShardRecord struct {
 }
 
 // SameSchedule reports whether two manifests declare the identical cell
-// schedule (everything except the Shards provenance).
+// schedule (everything except the Shards and KernelVariants provenance).
 func (m Manifest) SameSchedule(o Manifest) bool {
 	a, b := m, o
 	a.Shards, b.Shards = nil, nil
+	a.KernelVariants, b.KernelVariants = nil, nil
 	ab, _ := json.Marshal(a)
 	bb, _ := json.Marshal(b)
 	return string(ab) == string(bb)

@@ -66,6 +66,33 @@ func BenchmarkMatmulT(b *testing.B) {
 	}
 }
 
+// benchMatmulVariant runs the BenchmarkMatmulT shape set with the
+// dispatcher pinned to one variant, so a single session records
+// directly comparable AVX2-vs-SSE rows in BENCH_kernels.json.
+func benchMatmulVariant(b *testing.B, v Variant) {
+	prev := Active()
+	if err := ForceVariant(v); err != nil {
+		b.Skip(err)
+	}
+	defer func() { _ = ForceVariant(prev) }()
+	for _, s := range []struct{ rows, in, out int }{
+		{16, 256, 256},
+		{64, 256, 256},
+		{128, 512, 512},
+	} {
+		b.Run(fmt.Sprintf("%dx%dx%d", s.rows, s.in, s.out), func(b *testing.B) {
+			benchGemm(b, s.rows, s.in, s.out, false)
+		})
+	}
+}
+
+// BenchmarkMatmulTSSE pins the sse tier (amd64 fallback).
+func BenchmarkMatmulTSSE(b *testing.B) { benchMatmulVariant(b, VariantSSE) }
+
+// BenchmarkMatmulTAVX2 pins the avx2 tier; skipped on hosts without
+// AVX2+FMA.
+func BenchmarkMatmulTAVX2(b *testing.B) { benchMatmulVariant(b, VariantAVX2) }
+
 // BenchmarkMatmulTNaive is the pre-kernel scalar loop over the same
 // shapes — the baseline the ≥3x acceptance target is measured against.
 func BenchmarkMatmulTNaive(b *testing.B) {

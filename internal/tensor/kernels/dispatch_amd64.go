@@ -1,0 +1,67 @@
+//go:build amd64
+
+package kernels
+
+// Runtime dispatch for the amd64 assembly tiers. Feature detection is
+// hand-rolled CPUID/XGETBV in cpuid_amd64.s — no golang.org/x/sys
+// dependency — and runs once at init. AVX2+FMA requires, per the Intel
+// SDM: CPUID.1:ECX OSXSAVE(27), AVX(28) and FMA(12); XCR0 bits 1|2
+// (XMM and YMM state enabled by the OS); and CPUID.7.0:EBX AVX2(5).
+
+// cpuid executes CPUID with EAX=leaf, ECX=sub.
+func cpuid(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv0 reads XCR0 (extended control register 0).
+func xgetbv0() (eax, edx uint32)
+
+const (
+	cpuidOSXSAVE = 1 << 27 // leaf 1 ECX
+	cpuidAVX     = 1 << 28 // leaf 1 ECX
+	cpuidFMA     = 1 << 12 // leaf 1 ECX
+	cpuidAVX2    = 1 << 5  // leaf 7.0 EBX
+	xcr0XMMYMM   = 0x6     // XCR0 bits 1|2
+)
+
+// hasAVX2FMA reports whether the host supports the avx2 tier.
+func hasAVX2FMA() bool {
+	maxLeaf, _, _, _ := cpuid(0, 0)
+	if maxLeaf < 7 {
+		return false
+	}
+	_, _, ecx1, _ := cpuid(1, 0)
+	need := uint32(cpuidOSXSAVE | cpuidAVX | cpuidFMA)
+	if ecx1&need != need {
+		return false
+	}
+	if lo, _ := xgetbv0(); lo&xcr0XMMYMM != xcr0XMMYMM {
+		return false
+	}
+	_, ebx7, _, _ := cpuid(7, 0)
+	return ebx7&cpuidAVX2 != 0
+}
+
+// archKernels returns the amd64 assembly tiers, best-first. SSE2 is
+// part of the amd64 baseline, so the sse tier is unconditional; the
+// avx2 tier leads when the host supports it.
+func archKernels() []*kernel {
+	ks := []*kernel{{variant: VariantSSE, mr: 4}}
+	if hasAVX2FMA() {
+		ks = append([]*kernel{{variant: VariantAVX2, mr: 8, fused: true}}, ks...)
+	}
+	return ks
+}
+
+// blockRowsOf dispatches to the variant's block loop. A direct switch
+// (not a method or function-pointer field) so each loop's direct calls
+// into the //go:noescape assembly wrappers keep the accumulator tiles
+// on the stack.
+func blockRowsOf(k *kernel, y, x, panel []float32, r, rb, in, out int, opt Opt) {
+	switch k.variant {
+	case VariantAVX2:
+		blockRowsFMA(y, x, panel, r, rb, in, out, opt)
+	case VariantSSE:
+		blockRowsSSE(y, x, panel, r, rb, in, out, opt)
+	default:
+		blockRowsGeneric(y, x, panel, r, rb, in, out, opt)
+	}
+}

@@ -1,0 +1,14 @@
+//go:build !amd64
+
+package kernels
+
+// archKernels returns the architecture's assembly tiers, best-first.
+// Non-amd64 hosts have none: the portable generic tier (registered by
+// variant.go) is the only — and therefore active — variant.
+func archKernels() []*kernel { return nil }
+
+// blockRowsOf dispatches to the variant's block loop; without assembly
+// tiers there is only the generic one.
+func blockRowsOf(_ *kernel, y, x, panel []float32, r, rb, in, out int, opt Opt) {
+	blockRowsGeneric(y, x, panel, r, rb, in, out, opt)
+}

@@ -1,0 +1,44 @@
+package kernels
+
+import "math"
+
+// fmaRef is the scalar oracle of the FMA kernel tiers: the exactly-
+// rounded float32 fused multiply-add, fmaRef(a,b,c) = RN32(a·b + c)
+// with a single rounding. The avx2 differential tests pin every output
+// element against a naive loop built on it, the same way the sse and
+// generic tiers pin against the two-rounding `acc += float32(v*b)`
+// loop.
+//
+// The "fma" file-name token places this file under fp8vet's
+// floatorder FMA-tier contract: math.FMA is the point here, not a
+// violation (see internal/analyzers/floatorder.go).
+//
+// Construction: the float64 product of two float32s is exact (24+24
+// significand bits ≤ 53), so math.FMA in float64 yields RN64(a·b + c)
+// with one rounding. Converting that to float32 double-rounds, which
+// is wrong in halfway cases (the classic fmaf-via-double bug), so the
+// float64 sum is first corrected to round-to-odd using its exact 2Sum
+// residue: forcing the last mantissa bit when the sum was inexact
+// makes the subsequent RN32 conversion land exactly where a single
+// rounding would (float64 carries 29 guard bits past float32, far more
+// than the 2 the round-to-odd argument needs).
+func fmaRef(a, b, c float32) float32 {
+	p := float64(a) * float64(b) // exact
+	s := math.FMA(float64(a), float64(b), float64(c))
+	// Knuth 2Sum residue of p + c around s; exact in the absence of
+	// overflow, which the float32-range inputs cannot reach in float64.
+	t := s - p
+	err := (p - (s - t)) + (float64(c) - t)
+	if err != 0 && !math.IsNaN(err) && math.Float64bits(s)&1 == 0 {
+		// Inexact sum on an even mantissa: nudge one ulp toward the
+		// true value so the last bit ends up odd (adjacent float64s
+		// alternate parity; err≠0 rules out s == 0, and the maxima are
+		// odd-mantissa so this never overflows to Inf).
+		if err > 0 {
+			s = math.Nextafter(s, math.Inf(1))
+		} else {
+			s = math.Nextafter(s, math.Inf(-1))
+		}
+	}
+	return float32(s)
+}

@@ -3,21 +3,28 @@
 // y = x·Wᵀ (Linear, im2col convolution, attention BMMs) in both
 // transposed- and natural-B layouts.
 //
-// Bit-identity contract: for every output element y[r,o] the kernels
-// perform exactly the same float32 operation sequence as the naive
-// triple loop — one accumulator, products x[r,k]·b[k,o] added in
-// ascending k order, bias either seeding the accumulator (prologue,
-// convolution) or added once after the sum (epilogue, Linear). The
-// speedup comes only from parallelism across *independent* output
-// elements — a 4-row × 8-column register tile turns the serial FP-add
-// latency chain into 32 concurrent chains (SIMD lanes on amd64, ILP
-// elsewhere) — plus packed weight panels (contiguous loads, 4× less
-// weight traffic per row block) and hoisted bounds checks; a sum is
-// never reassociated, fused (FMA) or vectorized across k. Results are
-// therefore byte-identical to the scalar reference for any shape, any
+// Bit-identity contract (per variant): for every output element y[r,o]
+// the kernels perform exactly the same float32 operation sequence as
+// the variant's scalar oracle — one accumulator, products x[r,k]·b[k,o]
+// combined in ascending k order, bias either seeding the accumulator
+// (prologue, convolution) or added once after the sum (epilogue,
+// Linear). The speedup comes only from parallelism across *independent*
+// output elements — an mr-row × 8-column register tile turns the serial
+// FP-add latency chain into mr·8 concurrent chains (SIMD lanes on
+// amd64, ILP elsewhere) — plus packed weight panels (contiguous loads,
+// less weight traffic per row block) and hoisted bounds checks; a sum
+// is never reassociated or vectorized across k. Results are therefore
+// byte-identical to the variant's scalar reference for any shape, any
 // worker count, and any chunking of the row range. (The one
 // unspecifiable corner is the payload of NaN·NaN products, which the
 // scalar Go expression does not pin down either.)
+//
+// Variants (see variant.go): the generic and sse tiers round every
+// multiply and add separately, matching the naive two-rounding loop;
+// the avx2 tier uses fused multiply-adds that round once per update
+// and pins to the fused oracle fmaRef instead. Which tier ran is part
+// of a result's provenance — callers record Active() alongside any
+// kernel-derived artifact.
 package kernels
 
 import (
@@ -27,8 +34,8 @@ import (
 )
 
 const (
-	// mr×nr is the register tile; nr is also the packed panel width.
-	mr = 4
+	// nr is the register-tile width and the packed panel width, shared
+	// by every variant; the tile height mr is per-variant (kernel.mr).
 	nr = 8
 
 	// minParallelOps is the smallest number of multiply-adds handed to
@@ -48,6 +55,14 @@ type Opt struct {
 	// Serial skips the worker-pool fan-out; used by callers that are
 	// already running inside a parallel region (e.g. per-batch BMMs).
 	Serial bool
+	// NoFused pins the call to two-rounding semantics under every
+	// variant: when the active tier is fused (avx2) the call falls back
+	// to the best non-fused tier (sse on amd64, generic elsewhere).
+	// Convolution sets it because its interior-GEMM vs direct-border
+	// dispatch is a pure performance choice whose two paths must agree
+	// bit for bit — and the scalar border loop cannot cheaply reproduce
+	// fused rounding. Conv results are therefore variant-independent.
+	NoFused bool
 }
 
 // panelPool recycles packed weight panels and other scratch buffers.
@@ -146,6 +161,15 @@ func packT(panel, w []float32, in, out int) {
 			cols = nr
 		}
 		dst := panel[pj*in*nr : (pj+1)*in*nr]
+		if cols == nr {
+			// Full panel: the nr source rows are contiguous in w, so this
+			// is an 8-row interleave a transpose kernel can do in one pass
+			// (amd64) or a fused row walk (elsewhere) instead of the
+			// j-outer form's nr strided crossings of the panel. Same bytes
+			// either way — packing is a pure copy.
+			packPanel8(dst, w[o0*in:(o0+nr)*in], in)
+			continue
+		}
 		for j := 0; j < cols; j++ {
 			src := w[(o0+j)*in : (o0+j+1)*in]
 			for k, v := range src {
@@ -157,6 +181,28 @@ func packT(panel, w []float32, in, out int) {
 				dst[k*nr+j] = 0
 			}
 		}
+	}
+}
+
+// packPanel8Go interleaves nr contiguous source rows (src is row-major
+// [nr, in]) into one full micro panel, columns [from, in). The pure-Go
+// path for non-amd64 hosts and the k%4 tail of the amd64 transpose
+// kernel.
+func packPanel8Go(dst, src []float32, in, from int) {
+	r0 := src[0*in : 1*in][:in:in]
+	r1 := src[1*in : 2*in][:in:in]
+	r2 := src[2*in : 3*in][:in:in]
+	r3 := src[3*in : 4*in][:in:in]
+	r4 := src[4*in : 5*in][:in:in]
+	r5 := src[5*in : 6*in][:in:in]
+	r6 := src[6*in : 7*in][:in:in]
+	r7 := src[7*in : 8*in][:in:in]
+	d := dst[from*nr:]
+	for k := from; k < in; k++ {
+		d[7] = r7[k] // stores len(d) ≥ 8, eliding the checks below
+		d[0], d[1], d[2], d[3] = r0[k], r1[k], r2[k], r3[k]
+		d[4], d[5], d[6] = r4[k], r5[k], r6[k]
+		d = d[8:]
 	}
 }
 
@@ -221,22 +267,32 @@ func run(y, x, panel []float32, rows, in, out int, opt Opt) {
 	tensor.ParallelFor(rows, grain, body)
 }
 
-// runRange computes output rows [lo, hi) in mr-row blocks; chunk
-// boundaries never change any row's result.
+// runRange computes output rows [lo, hi) in blocks of the dispatched
+// variant's tile height; chunk boundaries never change any row's
+// result (the block and row kernels share one per-row operation
+// sequence).
 func runRange(y, x, panel []float32, lo, hi, in, out int, opt Opt) {
+	k := active
+	if opt.NoFused && k.fused {
+		k = twoRounding
+	}
 	for r := lo; r < hi; {
 		rb := hi - r
-		if rb > mr {
-			rb = mr
+		if rb > k.mr {
+			rb = k.mr
 		}
-		blockRows(y, x, panel, r, rb, in, out, opt)
+		blockRowsOf(k, y, x, panel, r, rb, in, out, opt)
 		r += rb
 	}
 }
 
-// blockRows computes rb (≤ mr) consecutive output rows against every
-// packed panel while the x rows stay hot in cache.
-func blockRows(y, x, panel []float32, r, rb, in, out int, opt Opt) {
+// blockRowsGeneric computes rb (≤ 4) consecutive output rows against
+// every packed panel with the portable tier while the x rows stay hot
+// in cache. Like its per-variant amd64 siblings it calls the
+// microkernels directly — through a function-pointer field the
+// stack-array-backed accumulator tile would escape, costing one heap
+// allocation per block.
+func blockRowsGeneric(y, x, panel []float32, r, rb, in, out int, opt Opt) {
 	npan := (out + nr - 1) / nr
 	for pj := 0; pj < npan; pj++ {
 		o0 := pj * nr
@@ -245,16 +301,16 @@ func blockRows(y, x, panel []float32, r, rb, in, out int, opt Opt) {
 			cols = nr
 		}
 		p := panel[pj*in*nr : (pj+1)*in*nr]
-		if rb == mr {
-			var acc [mr * nr]float32
+		if rb == 4 {
+			var acc [4 * nr]float32
 			initAcc(acc[:], o0, cols, opt)
-			inner4x8(x[r*in:], p, in, &acc)
-			storeAcc(y, acc[:], r, mr, o0, cols, out, opt)
+			generic4x8(x[r*in:], p, in, acc[:])
+			storeAcc(y, acc[:], r, 4, o0, cols, out, opt)
 		} else {
 			for i := 0; i < rb; i++ {
 				var acc [nr]float32
 				initAcc(acc[:nr], o0, cols, opt)
-				inner1x8(x[(r+i)*in:], p, in, &acc)
+				generic1x8(x[(r+i)*in:], p, in, acc[:nr])
 				storeAcc(y, acc[:nr], r+i, 1, o0, cols, out, opt)
 			}
 		}

@@ -2,31 +2,61 @@
 
 package kernels
 
-// The amd64 inner kernels broadcast one x value per row and run
+// The SSE inner kernels broadcast one x value per row and run
 // MULPS+ADDPS over the 8 packed columns (two SSE lanes of 4). SSE1
 // mul-then-add per lane is exactly the scalar float32 `acc += v*b`
 // operation sequence — no FMA, no reassociation — so every lane stays
-// bit-identical to the Go loop while 32 accumulator chains run
+// bit-identical to the generic Go loop while 32 accumulator chains run
 // concurrently.
 
 // gemm4x8SSE accumulates acc[r*8+j] += Σ_k xr[k]·p[k*8+j] for four
 // rows (x0..x3, each n floats) against one packed panel p (n×8).
 //
 //go:noescape
-func gemm4x8SSE(x0, x1, x2, x3, p *float32, n int, acc *[mr * nr]float32)
+func gemm4x8SSE(x0, x1, x2, x3, p *float32, n int, acc *[4 * nr]float32)
 
 // gemm1x8SSE is the single-row variant used for the rows%4 remainder.
 //
 //go:noescape
 func gemm1x8SSE(x, p *float32, n int, acc *[nr]float32)
 
-// inner4x8 runs the 4-row × 8-column microkernel over one packed
+// sse4x8 runs the 4-row × 8-column SSE microkernel over one packed
 // panel. x holds the four rows back to back at stride in.
-func inner4x8(x, p []float32, in int, acc *[mr * nr]float32) {
-	gemm4x8SSE(&x[0], &x[in], &x[2*in], &x[3*in], &p[0], in, acc)
+func sse4x8(x, p []float32, in int, acc []float32) {
+	gemm4x8SSE(&x[0], &x[in], &x[2*in], &x[3*in], &p[0], in, (*[4 * nr]float32)(acc[:4*nr]))
 }
 
-// inner1x8 runs the 1-row remainder microkernel over one packed panel.
-func inner1x8(x, p []float32, in int, acc *[nr]float32) {
-	gemm1x8SSE(&x[0], &p[0], in, acc)
+// sse1x8 runs the 1-row remainder SSE microkernel over one packed
+// panel.
+func sse1x8(x, p []float32, in int, acc []float32) {
+	gemm1x8SSE(&x[0], &p[0], in, (*[nr]float32)(acc[:nr]))
+}
+
+// blockRowsSSE computes rb (≤ 4) consecutive output rows against every
+// packed panel with the SSE tier. Direct calls into the //go:noescape
+// assembly wrappers keep the accumulator tile on the stack (see
+// blockRowsGeneric).
+func blockRowsSSE(y, x, panel []float32, r, rb, in, out int, opt Opt) {
+	npan := (out + nr - 1) / nr
+	for pj := 0; pj < npan; pj++ {
+		o0 := pj * nr
+		cols := out - o0
+		if cols > nr {
+			cols = nr
+		}
+		p := panel[pj*in*nr : (pj+1)*in*nr]
+		if rb == 4 {
+			var acc [4 * nr]float32
+			initAcc(acc[:], o0, cols, opt)
+			sse4x8(x[r*in:], p, in, acc[:])
+			storeAcc(y, acc[:], r, 4, o0, cols, out, opt)
+		} else {
+			for i := 0; i < rb; i++ {
+				var acc [nr]float32
+				initAcc(acc[:nr], o0, cols, opt)
+				sse1x8(x[(r+i)*in:], p, in, acc[:nr])
+				storeAcc(y, acc[:nr], r+i, 1, o0, cols, out, opt)
+			}
+		}
+	}
 }

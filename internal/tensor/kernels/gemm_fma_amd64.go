@@ -1,0 +1,65 @@
+//go:build amd64
+
+package kernels
+
+// The AVX2+FMA inner kernels (the "avx2" variant, dispatch-gated in
+// dispatch_amd64.go): an 8-row × 8-column tile of YMM accumulators
+// updated with VFMADD231PS — one rounding per multiply-add, which is
+// why this tier pins to the fused scalar oracle (fmaRef in fma.go)
+// instead of the two-rounding naive loops. Per output element the
+// sequence is still one accumulator and ascending-k updates, so the
+// 8×8 block kernel and the 1×8 remainder kernel agree bit for bit on
+// every row.
+
+// gemm8x8FMA accumulates acc[r*8+j] = fma(x_r[k], p[k*8+j], acc[r*8+j])
+// for k ascending, over eight rows starting at x with the given float32
+// stride, against one packed panel p (n×8).
+//
+//go:noescape
+func gemm8x8FMA(x *float32, stride int, p *float32, n int, acc *[8 * nr]float32)
+
+// gemm1x8FMA is the single-row variant used for the rows%8 remainder.
+//
+//go:noescape
+func gemm1x8FMA(x, p *float32, n int, acc *[nr]float32)
+
+// fma8x8 runs the 8-row × 8-column AVX2+FMA microkernel over one
+// packed panel. x holds the eight rows back to back at stride in.
+func fma8x8(x, p []float32, in int, acc []float32) {
+	gemm8x8FMA(&x[0], in, &p[0], in, (*[8 * nr]float32)(acc[:8*nr]))
+}
+
+// fma1x8 runs the 1-row remainder AVX2+FMA microkernel over one packed
+// panel.
+func fma1x8(x, p []float32, in int, acc []float32) {
+	gemm1x8FMA(&x[0], &p[0], in, (*[nr]float32)(acc[:nr]))
+}
+
+// blockRowsFMA computes rb (≤ 8) consecutive output rows against every
+// packed panel with the AVX2+FMA tier. Direct calls into the
+// //go:noescape assembly wrappers keep the accumulator tile on the
+// stack (see blockRowsGeneric).
+func blockRowsFMA(y, x, panel []float32, r, rb, in, out int, opt Opt) {
+	npan := (out + nr - 1) / nr
+	for pj := 0; pj < npan; pj++ {
+		o0 := pj * nr
+		cols := out - o0
+		if cols > nr {
+			cols = nr
+		}
+		p := panel[pj*in*nr : (pj+1)*in*nr]
+		if rb == 8 {
+			var acc [8 * nr]float32
+			initAcc(acc[:], o0, cols, opt)
+			fma8x8(x[r*in:], p, in, acc[:])
+			storeAcc(y, acc[:], r, 8, o0, cols, out, opt)
+		} else {
+			for i := 0; i < rb; i++ {
+				var acc [nr]float32
+				initAcc(acc[:nr], o0, cols, opt)
+				fma1x8(x[(r+i)*in:], p, in, acc[:nr])
+				storeAcc(y, acc[:nr], r+i, 1, o0, cols, out, opt)
+			}
+		}
+	}
+}

@@ -1,0 +1,109 @@
+// AVX2+FMA microkernels for the packed-panel GEMM (the "avx2"
+// variant). One VMOVUPS panel load and eight VBROADCASTSS+VFMADD231PS
+// pairs per k — each accumulator lane is updated with a single-rounding
+// fused multiply-add, so this tier's scalar oracle is fmaRef (fma.go),
+// not the two-rounding naive loop. Per output element the chain is
+// still one accumulator, ascending k.
+//
+// Go assembler operand order: VFMADD231PS src3, src2, dst computes
+// dst += src2 * src3 (Intel dst = dst + src2*src3 with operands
+// reversed). VZEROUPPER before every RET keeps later SSE code out of
+// the AVX-SSE transition penalty.
+
+#include "textflag.h"
+
+// func gemm8x8FMA(x *float32, stride int, p *float32, n int, acc *[64]float32)
+//
+// Register map: Y0..Y7 the 8×8 accumulator tile (row r in Yr);
+// Y8 panel row for the current k; Y9 broadcast scratch. Row pointers:
+// SI, AX, BX, R9, R10, R11, R12, R13 (rows 0-7), advanced 4 bytes per k.
+TEXT ·gemm8x8FMA(SB), NOSPLIT, $0-40
+	MOVQ x+0(FP), SI
+	MOVQ stride+8(FP), R8
+	MOVQ p+16(FP), DI
+	MOVQ n+24(FP), CX
+	MOVQ acc+32(FP), DX
+	SHLQ $2, R8          // float32 stride -> byte stride
+	LEAQ (SI)(R8*1), AX  // row 1
+	LEAQ (AX)(R8*1), BX  // row 2
+	LEAQ (BX)(R8*1), R9  // row 3
+	LEAQ (R9)(R8*1), R10 // row 4
+	LEAQ (R10)(R8*1), R11
+	LEAQ (R11)(R8*1), R12
+	LEAQ (R12)(R8*1), R13 // row 7
+	VMOVUPS 0(DX), Y0
+	VMOVUPS 32(DX), Y1
+	VMOVUPS 64(DX), Y2
+	VMOVUPS 96(DX), Y3
+	VMOVUPS 128(DX), Y4
+	VMOVUPS 160(DX), Y5
+	VMOVUPS 192(DX), Y6
+	VMOVUPS 224(DX), Y7
+	TESTQ CX, CX
+	JLE done8
+
+loop8:
+	VMOVUPS (DI), Y8
+	VBROADCASTSS (SI), Y9
+	VFMADD231PS Y8, Y9, Y0
+	VBROADCASTSS (AX), Y9
+	VFMADD231PS Y8, Y9, Y1
+	VBROADCASTSS (BX), Y9
+	VFMADD231PS Y8, Y9, Y2
+	VBROADCASTSS (R9), Y9
+	VFMADD231PS Y8, Y9, Y3
+	VBROADCASTSS (R10), Y9
+	VFMADD231PS Y8, Y9, Y4
+	VBROADCASTSS (R11), Y9
+	VFMADD231PS Y8, Y9, Y5
+	VBROADCASTSS (R12), Y9
+	VFMADD231PS Y8, Y9, Y6
+	VBROADCASTSS (R13), Y9
+	VFMADD231PS Y8, Y9, Y7
+	ADDQ $32, DI
+	ADDQ $4, SI
+	ADDQ $4, AX
+	ADDQ $4, BX
+	ADDQ $4, R9
+	ADDQ $4, R10
+	ADDQ $4, R11
+	ADDQ $4, R12
+	ADDQ $4, R13
+	DECQ CX
+	JNZ loop8
+
+done8:
+	VMOVUPS Y0, 0(DX)
+	VMOVUPS Y1, 32(DX)
+	VMOVUPS Y2, 64(DX)
+	VMOVUPS Y3, 96(DX)
+	VMOVUPS Y4, 128(DX)
+	VMOVUPS Y5, 160(DX)
+	VMOVUPS Y6, 192(DX)
+	VMOVUPS Y7, 224(DX)
+	VZEROUPPER
+	RET
+
+// func gemm1x8FMA(x, p *float32, n int, acc *[8]float32)
+TEXT ·gemm1x8FMA(SB), NOSPLIT, $0-32
+	MOVQ x+0(FP), SI
+	MOVQ p+8(FP), DI
+	MOVQ n+16(FP), CX
+	MOVQ acc+24(FP), DX
+	VMOVUPS 0(DX), Y0
+	TESTQ CX, CX
+	JLE done1
+
+loop1:
+	VMOVUPS (DI), Y8
+	VBROADCASTSS (SI), Y9
+	VFMADD231PS Y8, Y9, Y0
+	ADDQ $32, DI
+	ADDQ $4, SI
+	DECQ CX
+	JNZ loop1
+
+done1:
+	VMOVUPS Y0, 0(DX)
+	VZEROUPPER
+	RET

@@ -1,22 +1,23 @@
-//go:build !amd64
-
 package kernels
 
-// Portable inner kernels: the same 4×8 accumulator tile as the amd64
-// SSE path, expressed as 32 scalar chains the compiler keeps
-// independent. Bit-identical to the assembly by construction — each
-// chain is `acc += float32(v*b)` in ascending k order. The explicit
-// float32 conversion forces the product to round before the add: the
-// Go spec otherwise permits fusing `a + v*b` into an FMA (arm64 and
-// ppc64 do), which rounds once and would break bit-identity with the
-// two-rounding SSE path. It is a no-op on targets that never fuse.
+// Portable inner kernels (the "generic" variant): the same 4×8
+// accumulator tile as the amd64 SSE path, expressed as 32 scalar chains
+// the compiler keeps independent. Bit-identical to the SSE assembly by
+// construction — each chain is `acc += float32(v*b)` in ascending k
+// order. The explicit float32 conversion forces the product to round
+// before the add: the Go spec otherwise permits fusing `a + v*b` into
+// an FMA (arm64 and ppc64 do), which rounds once and would break
+// bit-identity with the two-rounding SSE path. It is a no-op on targets
+// that never fuse. On amd64 this tier stays registered behind the
+// assembly tiers so the differential tests can force it.
 
-func inner4x8(x, p []float32, in int, acc *[mr * nr]float32) {
+func generic4x8(x, p []float32, in int, acc []float32) {
 	x0 := x[:in:in]
 	x1 := x[in : 2*in : 2*in]
 	x2 := x[2*in : 3*in : 3*in]
 	x3 := x[3*in : 4*in : 4*in]
 	p = p[: in*nr : in*nr]
+	acc = acc[: 4*nr : 4*nr]
 	for h := 0; h < nr; h += 4 {
 		a00, a01, a02, a03 := acc[h], acc[h+1], acc[h+2], acc[h+3]
 		a10, a11, a12, a13 := acc[nr+h], acc[nr+h+1], acc[nr+h+2], acc[nr+h+3]
@@ -53,9 +54,10 @@ func inner4x8(x, p []float32, in int, acc *[mr * nr]float32) {
 	}
 }
 
-func inner1x8(x, p []float32, in int, acc *[nr]float32) {
+func generic1x8(x, p []float32, in int, acc []float32) {
 	xr := x[:in:in]
 	p = p[: in*nr : in*nr]
+	acc = acc[:nr:nr]
 	for h := 0; h < nr; h += 4 {
 		a0, a1, a2, a3 := acc[h], acc[h+1], acc[h+2], acc[h+3]
 		for k := 0; k < in; k++ {

@@ -8,9 +8,20 @@ import (
 	"fp8quant/internal/tensor"
 )
 
+// maddFunc is one scalar multiply-accumulate step: the per-variant
+// oracle differs only here.
+type maddFunc func(acc, x, b float32) float32
+
+// maddFor returns the scalar multiply-accumulate the variant is pinned
+// to: two roundings (explicit product rounding, then the add) for the
+// generic and sse tiers, the exactly-rounded fused multiply-add for
+// the avx2 tier.
+func maddFor(v Variant) maddFunc { return RefMadd(v) }
+
 // gemmTRef is the scalar oracle for GemmT: the exact naive loop the
-// kernels must match bit for bit (single accumulator, ascending k).
-func gemmTRef(y, x, w []float32, rows, in, out int, opt Opt) {
+// kernels must match bit for bit (single accumulator, ascending k,
+// the variant's multiply-accumulate).
+func gemmTRef(y, x, w []float32, rows, in, out int, opt Opt, madd maddFunc) {
 	for r := 0; r < rows; r++ {
 		for o := 0; o < out; o++ {
 			var acc float32
@@ -18,7 +29,7 @@ func gemmTRef(y, x, w []float32, rows, in, out int, opt Opt) {
 				acc = opt.Bias[o]
 			}
 			for k := 0; k < in; k++ {
-				acc += x[r*in+k] * w[o*in+k]
+				acc = madd(acc, x[r*in+k], w[o*in+k])
 			}
 			if !opt.Prologue && opt.Bias != nil {
 				acc += opt.Bias[o]
@@ -29,7 +40,7 @@ func gemmTRef(y, x, w []float32, rows, in, out int, opt Opt) {
 }
 
 // gemmNRef is the scalar oracle for GemmN (b row-major [in, out]).
-func gemmNRef(y, x, b []float32, rows, in, out int, opt Opt) {
+func gemmNRef(y, x, b []float32, rows, in, out int, opt Opt, madd maddFunc) {
 	for r := 0; r < rows; r++ {
 		for o := 0; o < out; o++ {
 			var acc float32
@@ -37,7 +48,7 @@ func gemmNRef(y, x, b []float32, rows, in, out int, opt Opt) {
 				acc = opt.Bias[o]
 			}
 			for k := 0; k < in; k++ {
-				acc += x[r*in+k] * b[k*out+o]
+				acc = madd(acc, x[r*in+k], b[k*out+o])
 			}
 			if !opt.Prologue && opt.Bias != nil {
 				acc += opt.Bias[o]
@@ -88,13 +99,15 @@ func firstDiff(t *testing.T, a, b []float32) {
 }
 
 // gemmShapes exercises odd rows/cols, tile remainders in both
-// dimensions, tiny and degenerate extents.
+// dimensions (including every rows%8 remainder the avx2 tier blocks
+// by), tiny and degenerate extents.
 var gemmShapes = []struct{ rows, in, out int }{
 	{1, 1, 1},
 	{1, 7, 1},
 	{3, 5, 2},
 	{4, 16, 4},
 	{5, 17, 9},
+	{6, 10, 24},
 	{7, 64, 31},
 	{8, 33, 12},
 	{13, 128, 65},
@@ -104,135 +117,177 @@ var gemmShapes = []struct{ rows, in, out int }{
 }
 
 func TestGemmTMatchesOracleBitExact(t *testing.T) {
-	rng := tensor.NewRNG(0x6E77)
-	for _, s := range gemmShapes {
-		x := make([]float32, s.rows*s.in)
-		w := make([]float32, s.out*s.in)
-		bias := make([]float32, s.out)
-		fillMixed(x, rng)
-		fillMixed(w, rng)
-		fillMixed(bias, rng)
-		for _, opt := range []Opt{
-			{},
-			{Bias: bias},
-			{Bias: bias, Prologue: true},
-			{Serial: true, Bias: bias},
-		} {
-			got := make([]float32, s.rows*s.out)
-			want := make([]float32, s.rows*s.out)
-			GemmT(got, x, w, s.rows, s.in, s.out, opt)
-			gemmTRef(want, x, w, s.rows, s.in, s.out, opt)
-			if !bitsEqual(got, want) {
-				t.Errorf("GemmT %dx%dx%d opt=%+v diverges from oracle", s.rows, s.in, s.out, opt)
-				firstDiff(t, got, want)
+	forEachVariant(t, func(t *testing.T, v Variant) {
+		madd := maddFor(v)
+		rng := tensor.NewRNG(0x6E77)
+		for _, s := range gemmShapes {
+			x := make([]float32, s.rows*s.in)
+			w := make([]float32, s.out*s.in)
+			bias := make([]float32, s.out)
+			fillMixed(x, rng)
+			fillMixed(w, rng)
+			fillMixed(bias, rng)
+			for _, opt := range []Opt{
+				{},
+				{Bias: bias},
+				{Bias: bias, Prologue: true},
+				{Serial: true, Bias: bias},
+			} {
+				got := make([]float32, s.rows*s.out)
+				want := make([]float32, s.rows*s.out)
+				GemmT(got, x, w, s.rows, s.in, s.out, opt)
+				gemmTRef(want, x, w, s.rows, s.in, s.out, opt, madd)
+				if !bitsEqual(got, want) {
+					t.Errorf("GemmT %dx%dx%d opt=%+v diverges from oracle", s.rows, s.in, s.out, opt)
+					firstDiff(t, got, want)
+				}
 			}
 		}
-	}
+	})
 }
 
 func TestGemmNMatchesOracleBitExact(t *testing.T) {
-	rng := tensor.NewRNG(0x6E78)
-	for _, s := range gemmShapes {
-		x := make([]float32, s.rows*s.in)
-		b := make([]float32, s.in*s.out)
-		bias := make([]float32, s.out)
-		fillMixed(x, rng)
-		fillMixed(b, rng)
-		fillMixed(bias, rng)
-		for _, opt := range []Opt{
-			{},
-			{Bias: bias},
-			{Bias: bias, Prologue: true},
-			{Serial: true},
-		} {
-			got := make([]float32, s.rows*s.out)
-			want := make([]float32, s.rows*s.out)
-			GemmN(got, x, b, s.rows, s.in, s.out, opt)
-			gemmNRef(want, x, b, s.rows, s.in, s.out, opt)
-			if !bitsEqual(got, want) {
-				t.Errorf("GemmN %dx%dx%d opt=%+v diverges from oracle", s.rows, s.in, s.out, opt)
-				firstDiff(t, got, want)
+	forEachVariant(t, func(t *testing.T, v Variant) {
+		madd := maddFor(v)
+		rng := tensor.NewRNG(0x6E78)
+		for _, s := range gemmShapes {
+			x := make([]float32, s.rows*s.in)
+			b := make([]float32, s.in*s.out)
+			bias := make([]float32, s.out)
+			fillMixed(x, rng)
+			fillMixed(b, rng)
+			fillMixed(bias, rng)
+			for _, opt := range []Opt{
+				{},
+				{Bias: bias},
+				{Bias: bias, Prologue: true},
+				{Serial: true},
+			} {
+				got := make([]float32, s.rows*s.out)
+				want := make([]float32, s.rows*s.out)
+				GemmN(got, x, b, s.rows, s.in, s.out, opt)
+				gemmNRef(want, x, b, s.rows, s.in, s.out, opt, madd)
+				if !bitsEqual(got, want) {
+					t.Errorf("GemmN %dx%dx%d opt=%+v diverges from oracle", s.rows, s.in, s.out, opt)
+					firstDiff(t, got, want)
+				}
 			}
 		}
-	}
+	})
 }
 
 // TestGemmSpecialValues pins the kernels to the oracle when the inputs
 // contain Inf and NaN (quantized weights overflow to Inf in IEEE
 // formats), including around the zero-padded panel tail.
 func TestGemmSpecialValues(t *testing.T) {
-	rows, in, out := 5, 9, 6 // out%nr != 0 exercises the padded lanes
-	rng := tensor.NewRNG(0x1F)
-	x := make([]float32, rows*in)
-	w := make([]float32, out*in)
-	fillMixed(x, rng)
-	fillMixed(w, rng)
-	inf := float32(math.Inf(1))
-	nan := float32(math.NaN())
-	w[0], w[in+3] = inf, -inf
-	w[(out-1)*in+2] = nan
-	x[2*in+1] = inf
-	x[4*in+8] = nan
-	got := make([]float32, rows*out)
-	want := make([]float32, rows*out)
-	GemmT(got, x, w, rows, in, out, Opt{})
-	gemmTRef(want, x, w, rows, in, out, Opt{})
-	if !bitsEqual(got, want) {
-		firstDiff(t, got, want)
-	}
+	forEachVariant(t, func(t *testing.T, v Variant) {
+		rows, in, out := 9, 9, 6 // out%nr != 0 exercises the padded lanes
+		rng := tensor.NewRNG(0x1F)
+		x := make([]float32, rows*in)
+		w := make([]float32, out*in)
+		fillMixed(x, rng)
+		fillMixed(w, rng)
+		inf := float32(math.Inf(1))
+		nan := float32(math.NaN())
+		w[0], w[in+3] = inf, -inf
+		w[(out-1)*in+2] = nan
+		x[2*in+1] = inf
+		x[4*in+8] = nan
+		got := make([]float32, rows*out)
+		want := make([]float32, rows*out)
+		GemmT(got, x, w, rows, in, out, Opt{})
+		gemmTRef(want, x, w, rows, in, out, Opt{}, maddFor(v))
+		if !bitsEqual(got, want) {
+			firstDiff(t, got, want)
+		}
+	})
 }
 
 // TestGemmDeterministicAcrossWorkers proves any worker count (and so
-// any chunking of the row range) yields identical bytes.
+// any chunking of the row range) yields identical bytes, for every
+// variant.
 func TestGemmDeterministicAcrossWorkers(t *testing.T) {
-	rows, in, out := 37, 96, 53
-	rng := tensor.NewRNG(0xD0)
-	x := make([]float32, rows*in)
-	w := make([]float32, out*in)
-	fillMixed(x, rng)
-	fillMixed(w, rng)
+	forEachVariant(t, func(t *testing.T, v Variant) {
+		rows, in, out := 37, 96, 53
+		rng := tensor.NewRNG(0xD0)
+		x := make([]float32, rows*in)
+		w := make([]float32, out*in)
+		fillMixed(x, rng)
+		fillMixed(w, rng)
 
-	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
-	runtime.GOMAXPROCS(1)
-	ref := make([]float32, rows*out)
-	GemmT(ref, x, w, rows, in, out, Opt{})
+		defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
+		runtime.GOMAXPROCS(1)
+		ref := make([]float32, rows*out)
+		GemmT(ref, x, w, rows, in, out, Opt{})
 
-	for _, procs := range []int{2, 8} {
-		runtime.GOMAXPROCS(procs)
-		got := make([]float32, rows*out)
-		GemmT(got, x, w, rows, in, out, Opt{})
-		if !bitsEqual(got, ref) {
-			t.Errorf("GOMAXPROCS=%d diverges from serial result", procs)
-			firstDiff(t, got, ref)
+		for _, procs := range []int{2, 8} {
+			runtime.GOMAXPROCS(procs)
+			got := make([]float32, rows*out)
+			GemmT(got, x, w, rows, in, out, Opt{})
+			if !bitsEqual(got, ref) {
+				t.Errorf("GOMAXPROCS=%d diverges from serial result", procs)
+				firstDiff(t, got, ref)
+			}
 		}
-	}
+	})
 }
 
 // TestGemmPackedMatchesGemmT proves the pack-once path (PackT +
 // GemmPacked, the convolution batch pattern) produces the same bytes
 // as the self-packing GemmT call.
 func TestGemmPackedMatchesGemmT(t *testing.T) {
-	rng := tensor.NewRNG(0x9AC)
-	rows, in, out := 11, 45, 13
-	x := make([]float32, rows*in)
-	w := make([]float32, out*in)
-	bias := make([]float32, out)
-	fillMixed(x, rng)
-	fillMixed(w, rng)
-	fillMixed(bias, rng)
-	opt := Opt{Bias: bias, Prologue: true}
-	want := make([]float32, rows*out)
-	GemmT(want, x, w, rows, in, out, opt)
-	panel := PackT(w, in, out)
-	defer PutScratch(panel)
-	for i := 0; i < 2; i++ { // reuse the panel like a batch loop does
-		got := make([]float32, rows*out)
-		GemmPacked(got, x, *panel, rows, in, out, opt)
-		if !bitsEqual(got, want) {
-			t.Errorf("GemmPacked pass %d diverges from GemmT", i)
-			firstDiff(t, got, want)
+	forEachVariant(t, func(t *testing.T, v Variant) {
+		rng := tensor.NewRNG(0x9AC)
+		rows, in, out := 11, 45, 13
+		x := make([]float32, rows*in)
+		w := make([]float32, out*in)
+		bias := make([]float32, out)
+		fillMixed(x, rng)
+		fillMixed(w, rng)
+		fillMixed(bias, rng)
+		opt := Opt{Bias: bias, Prologue: true}
+		want := make([]float32, rows*out)
+		GemmT(want, x, w, rows, in, out, opt)
+		panel := PackT(w, in, out)
+		defer PutScratch(panel)
+		for i := 0; i < 2; i++ { // reuse the panel like a batch loop does
+			got := make([]float32, rows*out)
+			GemmPacked(got, x, *panel, rows, in, out, opt)
+			if !bitsEqual(got, want) {
+				t.Errorf("GemmPacked pass %d diverges from GemmT", i)
+				firstDiff(t, got, want)
+			}
 		}
-	}
+	})
+}
+
+// TestNoFusedPinsTwoRounding proves Opt.NoFused yields the two-rounding
+// oracle's bytes under every variant — including a fused active tier,
+// where it must fall back to the best non-fused tier. This is the
+// contract convolution relies on to keep its interior-GEMM and direct
+// border paths bit-identical regardless of dispatch.
+func TestNoFusedPinsTwoRounding(t *testing.T) {
+	forEachVariant(t, func(t *testing.T, v Variant) {
+		madd := RefMadd(VariantGeneric) // two roundings, always
+		rng := tensor.NewRNG(0x2F0)
+		for _, s := range gemmShapes {
+			x := make([]float32, s.rows*s.in)
+			w := make([]float32, s.out*s.in)
+			bias := make([]float32, s.out)
+			fillMixed(x, rng)
+			fillMixed(w, rng)
+			fillMixed(bias, rng)
+			opt := Opt{Bias: bias, Prologue: true, NoFused: true}
+			got := make([]float32, s.rows*s.out)
+			want := make([]float32, s.rows*s.out)
+			GemmT(got, x, w, s.rows, s.in, s.out, opt)
+			gemmTRef(want, x, w, s.rows, s.in, s.out, opt, madd)
+			if !bitsEqual(got, want) {
+				t.Errorf("NoFused GemmT %dx%dx%d diverges from two-rounding oracle", s.rows, s.in, s.out)
+				firstDiff(t, got, want)
+			}
+		}
+	})
 }
 
 func TestScratchPoolReuse(t *testing.T) {

@@ -1,0 +1,48 @@
+package kernels
+
+import (
+	"fmt"
+	"os"
+	"testing"
+)
+
+// testVariants is the set of variants the differential battery runs:
+// every host-supported tier by default, or exactly one when FP8_KERNEL
+// pins it (the CI workflow runs the battery once per forced variant so
+// a regression in a non-default tier cannot hide behind the
+// dispatcher's choice).
+var testVariants []Variant
+
+func TestMain(m *testing.M) {
+	if v := os.Getenv("FP8_KERNEL"); v != "" {
+		if err := ForceVariant(Variant(v)); err != nil {
+			// A forced variant the host cannot run is a vacuous pass —
+			// the matrix step for that variant simply has nothing to
+			// prove here (e.g. FP8_KERNEL=avx2 on a pre-AVX2 runner).
+			fmt.Printf("kernels: %v; skipping forced-variant run\n", err)
+			os.Exit(0)
+		}
+		testVariants = []Variant{Variant(v)}
+	} else {
+		testVariants = Available()
+	}
+	os.Exit(m.Run())
+}
+
+// forEachVariant pins the dispatcher to each variant under test in
+// turn, running fn as a subtest, and restores the prior variant.
+func forEachVariant(t *testing.T, fn func(t *testing.T, v Variant)) {
+	t.Helper()
+	prev := Active()
+	defer func() {
+		if err := ForceVariant(prev); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	for _, v := range testVariants {
+		if err := ForceVariant(v); err != nil {
+			t.Fatal(err)
+		}
+		t.Run(string(v), func(t *testing.T) { fn(t, v) })
+	}
+}

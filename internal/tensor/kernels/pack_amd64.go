@@ -1,0 +1,25 @@
+//go:build amd64
+
+package kernels
+
+// packT8x4 interleaves 8 source rows (contiguous, row stride in floats)
+// into dst as n4 blocks of 4 panel rows each, using 4x4 SSE register
+// transposes: dst[k*8+j] = src[j*in+k] for k < 4*n4. SSE-baseline
+// shuffles only, so it runs on every amd64 host regardless of the
+// active GEMM variant — packing is a pure copy and produces the same
+// bytes as the Go walk.
+//
+//go:noescape
+func packT8x4(dst, src *float32, in, n4 int)
+
+// packPanel8 interleaves nr contiguous source rows (src row-major
+// [nr, in]) into one full micro panel.
+func packPanel8(dst, src []float32, in int) {
+	n4 := in &^ 3
+	if n4 > 0 {
+		packT8x4(&dst[0], &src[0], in, n4>>2)
+	}
+	if n4 < in {
+		packPanel8Go(dst, src, in, n4)
+	}
+}

@@ -1,0 +1,105 @@
+#include "textflag.h"
+
+// func packT8x4(dst, src *float32, in, n4 int)
+//
+// Interleaves 8 contiguous source rows (row stride `in` floats) into
+// the micro-panel layout, 4 panel rows per iteration via two 4x4 SSE
+// register transposes:
+//
+//   dst[k*8 + j] = src[j*in + k]   for k in [0, 4*n4), j in [0, 8)
+//
+// A pure copy — no arithmetic — so the bytes match the Go row walk
+// exactly. SSE1 shuffles only (amd64 baseline); independent of the
+// active GEMM variant.
+TEXT ·packT8x4(SB), NOSPLIT, $0-32
+	MOVQ  dst+0(FP), DI
+	MOVQ  src+8(FP), SI
+	MOVQ  in+16(FP), AX
+	MOVQ  n4+24(FP), CX
+	TESTQ CX, CX
+	JLE   done
+
+	// Byte stride between rows; row pointers SI, R8..R14.
+	SHLQ $2, AX
+	LEAQ (SI)(AX*1), R8
+	LEAQ (R8)(AX*1), R9
+	LEAQ (R9)(AX*1), R10
+	LEAQ (R10)(AX*1), R11
+	LEAQ (R11)(AX*1), R12
+	LEAQ (R12)(AX*1), R13
+	LEAQ (R13)(AX*1), R14
+
+loop:
+	// Four consecutive k from each of the eight rows.
+	MOVUPS (SI), X0
+	MOVUPS (R8), X1
+	MOVUPS (R9), X2
+	MOVUPS (R10), X3
+	MOVUPS (R11), X4
+	MOVUPS (R12), X5
+	MOVUPS (R13), X6
+	MOVUPS (R14), X7
+
+	// 4x4 transpose of rows 0-3: X8=[a0 b0 a1 b1], X0=[a2 b2 a3 b3],
+	// X9=[c0 d0 c1 d1], X2=[c2 d2 c3 d3].
+	MOVAPS   X0, X8
+	UNPCKLPS X1, X8
+	UNPCKHPS X1, X0
+	MOVAPS   X2, X9
+	UNPCKLPS X3, X9
+	UNPCKHPS X3, X2
+
+	// Same for rows 4-7.
+	MOVAPS   X4, X10
+	UNPCKLPS X5, X10
+	UNPCKHPS X5, X4
+	MOVAPS   X6, X11
+	UNPCKLPS X7, X11
+	UNPCKHPS X7, X6
+
+	// Panel row k+0: [a0 b0 c0 d0 | e0 f0 g0 h0].
+	MOVAPS  X8, X12
+	MOVLHPS X9, X12
+	MOVUPS  X12, (DI)
+	MOVAPS  X10, X13
+	MOVLHPS X11, X13
+	MOVUPS  X13, 16(DI)
+
+	// Panel row k+1: highs of the low-unpacks.
+	MOVAPS  X9, X12
+	MOVHLPS X8, X12
+	MOVUPS  X12, 32(DI)
+	MOVAPS  X11, X13
+	MOVHLPS X10, X13
+	MOVUPS  X13, 48(DI)
+
+	// Panel row k+2.
+	MOVAPS  X0, X12
+	MOVLHPS X2, X12
+	MOVUPS  X12, 64(DI)
+	MOVAPS  X4, X13
+	MOVLHPS X6, X13
+	MOVUPS  X13, 80(DI)
+
+	// Panel row k+3.
+	MOVAPS  X2, X12
+	MOVHLPS X0, X12
+	MOVUPS  X12, 96(DI)
+	MOVAPS  X6, X13
+	MOVHLPS X4, X13
+	MOVUPS  X13, 112(DI)
+
+	ADDQ $16, SI
+	ADDQ $16, R8
+	ADDQ $16, R9
+	ADDQ $16, R10
+	ADDQ $16, R11
+	ADDQ $16, R12
+	ADDQ $16, R13
+	ADDQ $16, R14
+	ADDQ $128, DI
+	DECQ CX
+	JNZ  loop
+
+done:
+	RET

@@ -1,0 +1,7 @@
+//go:build !amd64
+
+package kernels
+
+// packPanel8 interleaves nr contiguous source rows into a full micro
+// panel; non-amd64 hosts use the fused row walk.
+func packPanel8(dst, src []float32, in int) { packPanel8Go(dst, src, in, 0) }
