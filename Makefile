@@ -2,13 +2,15 @@ GO ?= go
 
 # Minimum combined statement coverage (%) for internal/harness +
 # internal/resultstore + internal/tensor/kernels + internal/analyzers +
-# internal/coord. 71.2% was measured when the sharding subsystem landed
-# (PR 4); the kernels package joined the floor in PR 5, the fp8vet
-# analyzer suite in PR 6, the sweep coordinator in PR 8, none lowering
-# it. cover-check fails CI if the combined figure regresses below this.
+# internal/coord + internal/faultline. 71.2% was measured when the
+# sharding subsystem landed (PR 4); the kernels package joined the
+# floor in PR 5, the fp8vet analyzer suite in PR 6, the sweep
+# coordinator in PR 8, the fault-injection layer in PR 10, none
+# lowering it. cover-check fails CI if the combined figure regresses
+# below this.
 COVER_FLOOR ?= 71.0
 
-.PHONY: all build vet vet-contracts lint fmt fmt-check test bench bench-json bench-gate bench-kernels bench-trend smoke shard-smoke serve-smoke coord-smoke fuzz cover-check ci
+.PHONY: all build vet vet-contracts lint fmt fmt-check test bench bench-json bench-gate bench-kernels bench-trend smoke shard-smoke serve-smoke coord-smoke chaos-smoke fuzz cover-check ci
 
 all: build
 
@@ -158,6 +160,76 @@ coord-smoke:
 		echo "coord-smoke: coordinated report differs from local run"; exit 1; }; \
 	echo "coord-smoke: sweep complete, killed worker survived, report identical, 0 misses"
 
+# Chaos smoke: the fault-injection layer (internal/faultline) batters a
+# coordinated table3 sweep with a seeded plan spanning four fault kinds
+# across three layers — silent store corruption and a failed rename
+# (store), HTTP 500 bursts and dropped responses (coordinator), crash
+# and transport errors (workers) — then proves the recovery story:
+#  1. the sweep still completes (exit-3 injected crash tolerated);
+#  2. fp8fsck exits nonzero on the damaged store, 0 after -repair;
+#  3. -coverage exits nonzero on the repaired (now-incomplete) store;
+#  4. a clean second round recomputes exactly the quarantined cells;
+#  5. the healed store's warm report is byte-identical to an
+#     undisturbed -workers 1 run with 0 misses;
+#  6. -warm-from fills a cold store from the coordinator's /v1/cell
+#     endpoint to full coverage.
+chaos-smoke:
+	@set -e; d=$$(mktemp -d); trap 'rm -rf "$$d"' EXIT; \
+	$(GO) build -o "$$d/fp8bench" ./cmd/fp8bench; \
+	$(GO) build -o "$$d/fp8coord" ./cmd/fp8coord; \
+	$(GO) build -o "$$d/fp8fsck" ./cmd/fp8fsck; \
+	"$$d/fp8bench" -exp table3 -workers 1 -no-cache > "$$d/ref.txt"; \
+	FP8_FAULTS="seed=7;resultstore.save.temp=corrupt:0.5@5x2;resultstore.save.rename=err@11x1;coord.server.push=http500@3x4;coord.server.lease=drop@4x3" \
+	"$$d/fp8coord" -exp table3 -cache-dir "$$d/store" -addr 127.0.0.1:0 \
+		-addr-file "$$d/addr" -lease-ttl 10s -once -linger 5s 2> "$$d/coord1.log" & coord=$$!; \
+	for i in $$(seq 50); do [ -s "$$d/addr" ] && break; sleep 0.1; done; \
+	[ -s "$$d/addr" ] || { echo "chaos-smoke: no address published"; cat "$$d/coord1.log"; exit 1; }; \
+	url=$$(cat "$$d/addr"); \
+	FP8_FAULTS="seed=13;coord.client.push=crash" \
+		"$$d/fp8bench" -worker "$$url" -worker-name doomed -no-cache 2> "$$d/doomed.log" & doomed=$$!; \
+	FP8_FAULTS="seed=11;coord.client.push=err%0.3x3" \
+		"$$d/fp8bench" -worker "$$url" -worker-name w1 -no-cache 2> "$$d/w1.log" & w1=$$!; \
+	set +e; wait $$doomed; dstatus=$$?; set -e; \
+	[ $$dstatus -eq 3 ] || { echo "chaos-smoke: doomed worker exited $$dstatus, want injected-crash exit 3"; \
+		cat "$$d/doomed.log"; exit 1; }; \
+	wait $$w1 || { echo "chaos-smoke: surviving worker failed"; cat "$$d/w1.log"; exit 1; }; \
+	wait $$coord || { echo "chaos-smoke: chaos-round coordinator failed"; cat "$$d/coord1.log"; exit 1; }; \
+	if "$$d/fp8fsck" "$$d/store" > "$$d/fsck1.txt"; then \
+		echo "chaos-smoke: fsck exit 0 on the battered store (no damage injected?)"; \
+		cat "$$d/fsck1.txt"; exit 1; fi; \
+	grep -q "DAMAGE" "$$d/fsck1.txt" || { echo "chaos-smoke: no DAMAGE findings"; cat "$$d/fsck1.txt"; exit 1; }; \
+	"$$d/fp8fsck" -repair "$$d/store" > "$$d/fsck2.txt" || { \
+		echo "chaos-smoke: fsck -repair failed"; cat "$$d/fsck2.txt"; exit 1; }; \
+	if "$$d/fp8bench" -exp table3 -coverage -cache-dir "$$d/store" > "$$d/cov1.txt"; then \
+		echo "chaos-smoke: -coverage exit 0 on the quarantine-gapped store"; cat "$$d/cov1.txt"; exit 1; fi; \
+	"$$d/fp8coord" -exp table3 -cache-dir "$$d/store" -addr 127.0.0.1:0 \
+		-addr-file "$$d/addr2" -lease-ttl 10s -once -linger 5s 2> "$$d/coord2.log" & coord2=$$!; \
+	for i in $$(seq 50); do [ -s "$$d/addr2" ] && break; sleep 0.1; done; \
+	url2=$$(cat "$$d/addr2"); \
+	"$$d/fp8bench" -worker "$$url2" -worker-name healer -no-cache 2> "$$d/healer.log" || { \
+		echo "chaos-smoke: heal worker failed"; cat "$$d/healer.log"; exit 1; }; \
+	wait $$coord2 || { echo "chaos-smoke: heal-round coordinator failed"; cat "$$d/coord2.log"; exit 1; }; \
+	"$$d/fp8fsck" "$$d/store" > /dev/null || { echo "chaos-smoke: healed store still unhealthy"; exit 1; }; \
+	"$$d/fp8bench" -exp table3 -coverage -cache-dir "$$d/store" > "$$d/cov2.txt" || { \
+		echo "chaos-smoke: healed store incomplete"; cat "$$d/cov2.txt"; exit 1; }; \
+	"$$d/fp8bench" -exp table3 -workers 1 -cache-dir "$$d/store" > "$$d/warm.txt"; \
+	grep -q ", 0 misses," "$$d/warm.txt" || { \
+		echo "chaos-smoke: warm run over healed store had misses:"; \
+		grep "result store" "$$d/warm.txt"; exit 1; }; \
+	grep -v "^(" "$$d/ref.txt" > "$$d/r1"; grep -v "^(" "$$d/warm.txt" > "$$d/r2"; \
+	cmp "$$d/r1" "$$d/r2" || { \
+		echo "chaos-smoke: healed report differs from undisturbed run"; exit 1; }; \
+	"$$d/fp8coord" -exp table3 -cache-dir "$$d/store" -addr 127.0.0.1:0 \
+		-addr-file "$$d/addr3" -once -linger 15s 2> "$$d/coord3.log" & coord3=$$!; \
+	for i in $$(seq 50); do [ -s "$$d/addr3" ] && break; sleep 0.1; done; \
+	url3=$$(cat "$$d/addr3"); \
+	"$$d/fp8bench" -warm-from "$$url3" -exp table3 -cache-dir "$$d/coldstore" > "$$d/warmfrom.txt" || { \
+		echo "chaos-smoke: -warm-from failed"; cat "$$d/warmfrom.txt"; exit 1; }; \
+	wait $$coord3 || { echo "chaos-smoke: warm-source coordinator failed"; cat "$$d/coord3.log"; exit 1; }; \
+	"$$d/fp8bench" -exp table3 -coverage -cache-dir "$$d/coldstore" > /dev/null || { \
+		echo "chaos-smoke: warm-from store incomplete"; exit 1; }; \
+	echo "chaos-smoke: sweep survived 4 fault kinds, fsck repaired, report identical, warm-from complete"
+
 # Serving smoke: fp8serve on a small quantized model at two worker
 # counts. The -check audit bit-compares every served row (planned,
 # batched) against an unplanned single-sample forward, and the command
@@ -179,12 +251,12 @@ fuzz:
 cover-check:
 	$(GO) test -coverprofile=coverage.out ./...
 	@awk -v floor=$(COVER_FLOOR) -F'[ ]' ' \
-		NR > 1 && $$1 ~ /^fp8quant\/internal\/(harness|resultstore|tensor\/kernels|analyzers|coord)\//{ \
+		NR > 1 && $$1 ~ /^fp8quant\/internal\/(harness|resultstore|tensor\/kernels|analyzers|coord|faultline)\//{ \
 			total += $$2; if ($$3 > 0) covered += $$2 } \
 		END { \
 			if (total == 0) { print "cover-check: no statements matched"; exit 1 } \
 			pct = 100 * covered / total; \
-			printf "harness+resultstore+kernels+analyzers+coord combined coverage: %.1f%% (floor %.1f%%)\n", pct, floor; \
+			printf "harness+resultstore+kernels+analyzers+coord+faultline combined coverage: %.1f%% (floor %.1f%%)\n", pct, floor; \
 			exit (pct < floor) }' coverage.out
 
-ci: build lint test serve-smoke coord-smoke
+ci: build lint test serve-smoke coord-smoke chaos-smoke

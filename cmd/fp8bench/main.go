@@ -68,6 +68,7 @@ import (
 
 	"fp8quant/internal/coord"
 	"fp8quant/internal/evalx"
+	"fp8quant/internal/faultline"
 	"fp8quant/internal/harness"
 	"fp8quant/internal/models"
 	"fp8quant/internal/resultstore"
@@ -89,8 +90,18 @@ func main() {
 	mergeFlag := flag.String("merge", "", "comma-separated store directories to merge into -cache-dir")
 	coverage := flag.Bool("coverage", false, "report done/missing cells per experiment instead of running (exits nonzero if any grid is incomplete)")
 	workerURL := flag.String("worker", "", "run as a pull-based sweep worker against this fp8coord URL")
-	workerName := flag.String("worker-name", "", "worker identity reported to the coordinator (default host-pid)")
+	workerName := flag.String("worker-name", "", "worker identity reported to the coordinator (default host-pid-n)")
+	warmFrom := flag.String("warm-from", "", "fetch the -exp grids' missing cells into -cache-dir from this fp8coord URL instead of running")
 	flag.Parse()
+	if armed, err := faultline.ArmFromEnv(); err != nil {
+		fmt.Fprintf(os.Stderr, "%v\n", err)
+		os.Exit(1)
+	} else if armed {
+		// Chaos runs announce themselves so a log is never mistaken for
+		// a clean run; the stats print at exit for replay comparison.
+		fmt.Fprintf(os.Stderr, "faultline: armed from %s\n", faultline.EnvVar)
+		defer fmt.Fprint(os.Stderr, faultline.Report())
+	}
 	if v := os.Getenv("FP8_KERNEL"); v != "" {
 		// Pin the GEMM tier before any cell runs — a mixed-hardware
 		// worker fleet forces one variant so every store cell carries
@@ -154,6 +165,15 @@ func main() {
 	switch {
 	case *workerURL != "":
 		os.Exit(runWorker(*workerURL, *workerName))
+	case *warmFrom != "":
+		ids := harness.IDs()
+		if *exp != "" {
+			if ids, err = resolveIDs(*exp); err != nil {
+				fmt.Fprintf(os.Stderr, "%v; use -list\n", err)
+				os.Exit(1)
+			}
+		}
+		os.Exit(runWarm(*warmFrom, ids))
 	case *coverage:
 		ids := harness.IDs()
 		if *exp != "" {
@@ -264,23 +284,47 @@ func main() {
 // then exits instead of leasing more — a drained worker never wastes
 // completed work or strands a lease until its timeout.
 func runWorker(url, name string) int {
-	if name == "" {
-		host, err := os.Hostname()
-		if err != nil {
-			host = "worker"
-		}
-		name = fmt.Sprintf("%s-%d", host, os.Getpid())
-	}
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
+	// An empty name is filled by the worker itself (host-pid-counter),
+	// collision-free even when several workers share a process.
 	w := &coord.Worker{URL: url, Name: name, Log: os.Stderr}
 	stats, err := w.Run(ctx)
 	fmt.Fprintf(os.Stderr, "worker %s: done (%d computed, %d cached, %d failed)\n",
-		name, stats.Computed, stats.Cached, stats.Failed)
+		w.Name, stats.Computed, stats.Cached, stats.Failed)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "-worker: %v\n", err)
 		return 1
 	}
+	return 0
+}
+
+// runWarm fills the local result store with the requested grids'
+// missing cells fetched from a coordinator, so a fresh machine joins a
+// fleet (or a wiped cache recovers) without recomputing anything the
+// coordinator already holds. Exits 0 even when cells are absent
+// upstream — warming a store mid-sweep is normal; -coverage tells you
+// whether the result is complete.
+func runWarm(url string, ids []string) int {
+	s := harness.Store()
+	if s == nil {
+		fmt.Fprintln(os.Stderr, "-warm-from: no result store configured (set -cache-dir, drop -no-cache)")
+		return 1
+	}
+	var exps []harness.Experiment
+	for _, id := range ids {
+		if e, ok := harness.Get(id); ok {
+			exps = append(exps, e)
+		}
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	st, err := coord.Warm(ctx, url, s, exps, os.Stderr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "-warm-from: %v\n", err)
+		return 1
+	}
+	fmt.Printf("warmed %s from %s: %s\n", s.Dir(), url, st)
 	return 0
 }
 

@@ -1,6 +1,10 @@
 package main
 
 import (
+	"os"
+
+	"fp8quant/internal/evalx"
+	"fp8quant/internal/resultstore"
 	"strings"
 	"testing"
 
@@ -97,5 +101,63 @@ func TestResolveIDs(t *testing.T) {
 		if _, err := resolveIDs(bad); err == nil {
 			t.Errorf("resolveIDs(%q) should error", bad)
 		}
+	}
+}
+
+// TestPrintCoverageCountsIncompleteGrids pins the -coverage exit
+// contract's source of truth: the incomplete-grid count that main
+// turns into a nonzero exit. An empty store reports the grid
+// incomplete; a store holding every scheduled cell reports zero; a nil
+// store is a hard error.
+func TestPrintCoverageCountsIncompleteGrids(t *testing.T) {
+	// The smallest registered grid keeps the fill loop cheap.
+	var id string
+	smallest := 1 << 30
+	for _, eid := range harness.IDs() {
+		if e, ok := harness.Get(eid); ok {
+			if n := e.Spec().NumCells(); n > 0 && n < smallest {
+				smallest, id = n, eid
+			}
+		}
+	}
+	if id == "" {
+		t.Fatal("no grid experiments registered")
+	}
+	e, _ := harness.Get(id)
+	spec := e.Spec()
+
+	// printCoverage writes its table to stdout; swallow it.
+	old := os.Stdout
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = devnull
+	defer func() { os.Stdout = old; devnull.Close() }()
+
+	s, err := resultstore.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	incomplete, err := printCoverage(s, []string{id})
+	if err != nil || incomplete != 1 {
+		t.Fatalf("empty store: incomplete = %d, %v; want 1 (drives the nonzero exit)", incomplete, err)
+	}
+
+	// Fill every scheduled cell (coverage checks presence and validity,
+	// not values) and the grid reads complete.
+	for i := 0; i < spec.NumCells(); i++ {
+		cell := spec.CellAt(i)
+		if err := s.SaveCell(spec.CellKey(cell), evalx.Result{QAcc: 1, BaseAcc: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	incomplete, err = printCoverage(s, []string{id})
+	if err != nil || incomplete != 0 {
+		t.Fatalf("full store: incomplete = %d, %v; want 0", incomplete, err)
+	}
+
+	if _, err := printCoverage(nil, []string{id}); err == nil {
+		t.Fatal("nil store must be a hard -coverage error")
 	}
 }

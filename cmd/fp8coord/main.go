@@ -40,6 +40,7 @@ import (
 	"time"
 
 	"fp8quant/internal/coord"
+	"fp8quant/internal/faultline"
 	"fp8quant/internal/harness"
 	"fp8quant/internal/resultstore"
 )
@@ -59,6 +60,16 @@ func run() int {
 	linger := flag.Duration("linger", 5*time.Second, "with -once, keep serving this long after completion so workers observe 'done'")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "on SIGINT/SIGTERM, how long to wait for in-flight leases before exiting")
 	flag.Parse()
+
+	if armed, err := faultline.ArmFromEnv(); err != nil {
+		fmt.Fprintf(os.Stderr, "fp8coord: %v\n", err)
+		return 1
+	} else if armed {
+		// Chaos runs announce themselves so a log is never mistaken for
+		// a clean run; the stats print at exit for replay comparison.
+		fmt.Fprintf(os.Stderr, "fp8coord: faultline armed from %s\n", faultline.EnvVar)
+		defer fmt.Fprint(os.Stderr, faultline.Report())
+	}
 
 	if *cacheDir == "" {
 		fmt.Fprintln(os.Stderr, "fp8coord: -cache-dir is required (pushed cells have nowhere to go)")

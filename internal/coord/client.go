@@ -18,13 +18,23 @@ import (
 	"io"
 	"math/rand"
 	"net/http"
+	"os"
 	"strings"
+	"sync/atomic"
 	"time"
 
+	"fp8quant/internal/faultline"
 	"fp8quant/internal/harness"
 	"fp8quant/internal/resultstore"
 	"fp8quant/internal/tensor/kernels"
 )
+
+// workerSeq disambiguates default worker names within one process: the
+// PR-9 postmortem found that two library-constructed workers with
+// equal (or empty) names share a backoff-RNG seed and retry in
+// lockstep, so the default name must be unique per Worker, not just
+// per process.
+var workerSeq atomic.Int64
 
 // Worker pulls cell leases from a coordinator and pushes results back.
 type Worker struct {
@@ -32,9 +42,10 @@ type Worker struct {
 	URL string
 	// Name identifies the worker in coordinator bookkeeping and logs.
 	// It also seeds the backoff-jitter RNG, so two workers sharing a
-	// Name retry in lockstep (and confuse lease bookkeeping); cmd
-	// wiring defaults Name to host+pid to keep names distinct — give
-	// explicit names the same property.
+	// Name retry in lockstep (and confuse lease bookkeeping). Empty
+	// defaults to "<host>-<pid>-<n>" with a per-process monotonic
+	// counter, so library-constructed workers are collision-free with
+	// no cmd wiring — give explicit names the same uniqueness.
 	Name string
 	// HTTP is the client used for all calls. Default: a client with a
 	// 2-minute timeout (long-polls are not used by workers).
@@ -66,6 +77,13 @@ type WorkerStats struct {
 }
 
 func (w *Worker) defaults() {
+	if w.Name == "" {
+		host, err := os.Hostname()
+		if err != nil || host == "" {
+			host = "worker"
+		}
+		w.Name = fmt.Sprintf("%s-%d-%d", host, os.Getpid(), workerSeq.Add(1))
+	}
 	if w.HTTP == nil {
 		w.HTTP = &http.Client{Timeout: 2 * time.Minute}
 	}
@@ -106,6 +124,8 @@ func (w *Worker) logf(format string, args ...interface{}) {
 // cell is finished and pushed first.
 func (w *Worker) Run(ctx context.Context) (WorkerStats, error) {
 	w.defaults()
+	stopBeat := w.startHeartbeat(ctx)
+	defer stopBeat()
 	var stats WorkerStats
 	for {
 		if ctx.Err() != nil {
@@ -150,6 +170,71 @@ func (w *Worker) Run(ctx context.Context) (WorkerStats, error) {
 		}
 		w.logf("cell %s: %s", lr.Lease.Key, pr.Status)
 	}
+}
+
+// startHeartbeat registers with the coordinator and re-hellos on the
+// acked interval until the returned stop function is called. Hellos
+// are best-effort single requests, never retried: registering opts the
+// worker into stale detection (faster lease recovery when it dies),
+// and a coordinator predating /v1/workers just answers 404 — the
+// worker then runs exactly as before, with plain lease TTLs.
+func (w *Worker) startHeartbeat(ctx context.Context) func() {
+	interval := 15 * time.Second
+	if ack, err := w.hello(ctx); err == nil && ack.HeartbeatMs > 0 {
+		interval = time.Duration(ack.HeartbeatMs) * time.Millisecond
+	}
+	hbCtx, cancel := context.WithCancel(ctx)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-hbCtx.Done():
+				return
+			case <-t.C:
+				_, _ = w.hello(hbCtx)
+			}
+		}
+	}()
+	return func() { cancel(); <-done }
+}
+
+// hello posts one WorkerHello (no retries — heartbeats are cheap and
+// periodic, a missed one just arrives next tick).
+func (w *Worker) hello(ctx context.Context) (WorkerAck, error) {
+	var ack WorkerAck
+	if err := faultline.Hit("coord.client.workers"); err != nil {
+		return ack, err
+	}
+	host, _ := os.Hostname()
+	body, err := json.Marshal(WorkerHello{
+		Worker: w.Name, Host: host, Pid: os.Getpid(),
+		KernelVariant: string(kernels.Active()),
+	})
+	if err != nil {
+		return ack, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		strings.TrimRight(w.URL, "/")+"/v1/workers", bytes.NewReader(body))
+	if err != nil {
+		return ack, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := w.HTTP.Do(req)
+	if err != nil {
+		return ack, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return ack, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return ack, fmt.Errorf("hello: HTTP %d", resp.StatusCode)
+	}
+	return ack, json.Unmarshal(b, &ack)
 }
 
 // computeLease evaluates one leased cell and builds its push.
@@ -223,6 +308,14 @@ func (w *Worker) call(ctx context.Context, path string, req, out interface{}) er
 				return fmt.Errorf("cancelled while retrying %s: %w", path, lastErr)
 			}
 			w.logf("retrying %s (attempt %d/%d): %v", path, attempt, w.MaxRetries, lastErr)
+		}
+		// Client-transport failpoint ("coord.client.lease"/"…push"):
+		// an injected error consumes an attempt like any network fault;
+		// crash rules terminate the process here — mid-protocol, the
+		// worst possible moment, which is the point.
+		if err := faultline.Hit("coord.client." + strings.TrimPrefix(path, "/v1/")); err != nil {
+			lastErr = err
+			continue
 		}
 		httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
 		if err != nil {

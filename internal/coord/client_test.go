@@ -36,6 +36,13 @@ func TestWorkerRetryBudgetExhausted(t *testing.T) {
 func TestWorkerRetriesTransient5xx(t *testing.T) {
 	var calls atomic.Int64
 	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/v1/workers" {
+			// Heartbeat hellos are uncounted: this test counts leases. A
+			// 404 also exercises the worker's tolerance of coordinators
+			// predating worker registration.
+			http.NotFound(w, r)
+			return
+		}
 		if calls.Add(1) <= 2 {
 			http.Error(w, "warming up", http.StatusServiceUnavailable)
 			return
@@ -62,6 +69,10 @@ func TestWorkerRetriesTransient5xx(t *testing.T) {
 func TestWorkerHardFailsOn4xx(t *testing.T) {
 	var calls atomic.Int64
 	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/v1/workers" {
+			http.NotFound(w, r) // heartbeats are uncounted; leases are the test
+			return
+		}
 		calls.Add(1)
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(http.StatusBadRequest)
@@ -143,6 +154,10 @@ func TestWorkerWaitHonorsServerRetryMs(t *testing.T) {
 	var calls atomic.Int64
 	var firstLease, secondLease time.Time
 	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/v1/workers" {
+			http.NotFound(w, r) // heartbeats are uncounted; leases are the test
+			return
+		}
 		switch calls.Add(1) {
 		case 1:
 			firstLease = time.Now()

@@ -9,6 +9,9 @@
 //
 //	POST /v1/lease     LeaseRequest  -> LeaseResponse
 //	POST /v1/push      PushRequest   -> PushResponse
+//	POST /v1/workers   WorkerHello   -> WorkerAck (register/heartbeat)
+//	GET  /v1/workers   -> WorkersSnapshot (fleet view)
+//	GET  /v1/cell/<fp> -> raw stored cell envelope (200) or 404
 //	GET  /v1/progress  ?gen=N&timeout_ms=M  -> ProgressSnapshot (long-poll)
 //	GET  /v1/coverage  -> text coverage table (fp8bench -coverage style)
 //	GET  /v1/healthz   -> "ok"
@@ -136,6 +139,53 @@ type ExpProgress struct {
 	Leased  int     `json:"leased"`
 	Pending int     `json:"pending"`
 	Percent float64 `json:"percent"`
+}
+
+// WorkerHello registers (or heartbeats) a worker with the coordinator.
+// Workers send it on startup and then every HeartbeatMs; a worker that
+// stops arriving is declared stale and its leases expire early instead
+// of waiting out the full TTL.
+type WorkerHello struct {
+	Worker string `json:"worker"`
+	// Host and Pid locate the process for fleet debugging.
+	Host string `json:"host,omitempty"`
+	Pid  int    `json:"pid,omitempty"`
+	// KernelVariant is the GEMM tier this worker dispatches, for fleet
+	// visibility (the push path still enforces tier consistency).
+	KernelVariant string `json:"kernel_variant,omitempty"`
+}
+
+// WorkerAck answers a hello.
+type WorkerAck struct {
+	// HeartbeatMs is how often the coordinator wants the worker to
+	// re-hello.
+	HeartbeatMs int64 `json:"heartbeat_ms"`
+}
+
+// WorkerInfo is one worker's fleet state in GET /v1/workers.
+type WorkerInfo struct {
+	Worker        string `json:"worker"`
+	Host          string `json:"host,omitempty"`
+	Pid           int    `json:"pid,omitempty"`
+	KernelVariant string `json:"kernel_variant,omitempty"`
+	// Registered is true for workers that sent a hello (lease/push
+	// traffic alone tracks a worker but does not opt it into stale
+	// detection — an old worker with no heartbeat loop must keep its
+	// plain lease TTL).
+	Registered bool `json:"registered"`
+	// IdleMs is how long since the worker was last heard from.
+	IdleMs int64 `json:"idle_ms"`
+	// Stale is true when a registered worker has been silent past the
+	// coordinator's stale threshold.
+	Stale bool `json:"stale"`
+	// Leases and Pushes count protocol traffic from this worker.
+	Leases int `json:"leases"`
+	Pushes int `json:"pushes"`
+}
+
+// WorkersSnapshot is the GET /v1/workers payload, sorted by worker name.
+type WorkersSnapshot struct {
+	Workers []WorkerInfo `json:"workers"`
 }
 
 // errorResponse is the JSON body of non-2xx protocol answers.

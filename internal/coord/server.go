@@ -18,14 +18,18 @@ package coord
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"regexp"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
+	"fp8quant/internal/faultline"
 	"fp8quant/internal/harness"
 	"fp8quant/internal/resultstore"
 )
@@ -56,6 +60,15 @@ type Config struct {
 	// WaitRetry is the retry hint handed to workers when every pending
 	// cell is leased out. Default 1s.
 	WaitRetry time.Duration
+	// Heartbeat is how often registered workers are asked to re-hello
+	// (sent back in WorkerAck). Default 15s.
+	Heartbeat time.Duration
+	// StaleAfter is how long a *registered* worker may be silent before
+	// it is declared stale and its leases expire early — a crashed
+	// worker then costs one missed heartbeat window instead of a full
+	// lease TTL. Workers that never sent a hello (no heartbeat loop)
+	// keep the plain TTL. Default 3×Heartbeat.
+	StaleAfter time.Duration
 	// Clock injects time for tests. Default time.Now.
 	Clock func() time.Time
 }
@@ -79,6 +92,19 @@ type Coordinator struct {
 	notify   chan struct{}
 	done     chan struct{}
 	complete bool
+	workers  map[string]*workerRec
+}
+
+// workerRec tracks one worker's traffic. Every lease/push touches it;
+// only an explicit hello marks it registered (and thus eligible for
+// stale detection — a worker with no heartbeat loop must not be
+// reaped for never heartbeating).
+type workerRec struct {
+	name, host, variant string
+	pid                 int
+	lastSeen            time.Time
+	registered          bool
+	leases, pushes      int
 }
 
 // New builds the schedule and seeds it from the store. The store's
@@ -101,17 +127,24 @@ func New(cfg Config) (*Coordinator, error) {
 	if cfg.WaitRetry <= 0 {
 		cfg.WaitRetry = time.Second
 	}
+	if cfg.Heartbeat <= 0 {
+		cfg.Heartbeat = 15 * time.Second
+	}
+	if cfg.StaleAfter <= 0 {
+		cfg.StaleAfter = 3 * cfg.Heartbeat
+	}
 	if cfg.Clock == nil {
 		cfg.Clock = time.Now
 	}
 	c := &Coordinator{
-		cfg:    cfg,
-		cost:   LoadCostModel(cfg.Store, cfg.CostSidecar),
-		items:  map[string]*workItem{},
-		specs:  map[string]harness.GridSpec{},
-		leases: map[string]*leaseRec{},
-		notify: make(chan struct{}),
-		done:   make(chan struct{}),
+		cfg:     cfg,
+		cost:    LoadCostModel(cfg.Store, cfg.CostSidecar),
+		items:   map[string]*workItem{},
+		specs:   map[string]harness.GridSpec{},
+		leases:  map[string]*leaseRec{},
+		workers: map[string]*workerRec{},
+		notify:  make(chan struct{}),
+		done:    make(chan struct{}),
 	}
 	for _, e := range cfg.Experiments {
 		spec := e.Spec()
@@ -198,12 +231,31 @@ func (c *Coordinator) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/lease", c.handleLease)
 	mux.HandleFunc("/v1/push", c.handlePush)
+	mux.HandleFunc("/v1/workers", c.handleWorkers)
+	mux.HandleFunc("/v1/cell/", c.handleCell)
 	mux.HandleFunc("/v1/progress", c.handleProgress)
 	mux.HandleFunc("/v1/coverage", c.handleCoverage)
 	mux.HandleFunc("/v1/healthz", func(w http.ResponseWriter, r *http.Request) {
 		io.WriteString(w, "ok\n")
 	})
 	return mux
+}
+
+// inject consults the "coord.server.<point>" failpoint. An ErrDrop
+// rule aborts the connection without a response (http.ErrAbortHandler
+// panics are swallowed silently by net/http — the client sees EOF);
+// any other injected error answers 500, which workers treat as
+// transient. Reports whether the handler should return.
+func inject(w http.ResponseWriter, point string) bool {
+	err := faultline.Hit("coord.server." + point)
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, faultline.ErrDrop) {
+		panic(http.ErrAbortHandler)
+	}
+	writeJSON(w, http.StatusInternalServerError, errorResponse{err.Error()})
+	return true
 }
 
 // bumpLocked advances the generation and wakes long-pollers.
@@ -239,8 +291,11 @@ func (c *Coordinator) checkCompleteLocked() {
 
 // reapLocked expires overdue leases: the cell requeues (or fails after
 // MaxExpiries timeouts), so a crashed worker costs one timeout.
-// Leases are processed in sorted id order so requeue order (and any
-// resulting failure messages) is deterministic.
+// Leases held by a registered worker that has gone stale (silent past
+// StaleAfter) expire early — the heartbeat's whole point — while
+// unregistered workers keep the plain TTL. Leases are processed in
+// sorted id order so requeue order (and any resulting failure
+// messages) is deterministic.
 func (c *Coordinator) reapLocked(now time.Time) {
 	ids := make([]string, 0, len(c.leases))
 	for id := range c.leases {
@@ -250,7 +305,7 @@ func (c *Coordinator) reapLocked(now time.Time) {
 	changedAny := false
 	for _, id := range ids {
 		l := c.leases[id]
-		if now.Before(l.deadline) {
+		if now.Before(l.deadline) && !c.workerStaleLocked(l.worker, now) {
 			continue
 		}
 		delete(c.leases, id)
@@ -281,6 +336,68 @@ func (c *Coordinator) Reap() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.reapLocked(c.cfg.Clock())
+}
+
+// workerStaleLocked reports whether a registered worker has been
+// silent past StaleAfter. Workers known only from lease/push traffic
+// never go stale — they did not promise heartbeats.
+func (c *Coordinator) workerStaleLocked(name string, now time.Time) bool {
+	rec, ok := c.workers[name]
+	return ok && rec.registered && now.Sub(rec.lastSeen) > c.cfg.StaleAfter
+}
+
+// touchWorkerLocked records traffic from a worker, creating an
+// unregistered record on first contact.
+func (c *Coordinator) touchWorkerLocked(name string) *workerRec {
+	rec, ok := c.workers[name]
+	if !ok {
+		rec = &workerRec{name: name}
+		c.workers[name] = rec
+	}
+	rec.lastSeen = c.cfg.Clock()
+	return rec
+}
+
+// hello registers (or heartbeats) a worker.
+func (c *Coordinator) hello(h WorkerHello) WorkerAck {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	rec := c.touchWorkerLocked(h.Worker)
+	rec.registered = true
+	if h.Host != "" {
+		rec.host = h.Host
+	}
+	if h.Pid != 0 {
+		rec.pid = h.Pid
+	}
+	if h.KernelVariant != "" {
+		rec.variant = h.KernelVariant
+	}
+	return WorkerAck{HeartbeatMs: c.cfg.Heartbeat.Milliseconds()}
+}
+
+// Workers returns the fleet view, sorted by worker name.
+func (c *Coordinator) Workers() WorkersSnapshot {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.cfg.Clock()
+	names := make([]string, 0, len(c.workers))
+	for name := range c.workers {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var snap WorkersSnapshot
+	for _, name := range names {
+		rec := c.workers[name]
+		snap.Workers = append(snap.Workers, WorkerInfo{
+			Worker: rec.name, Host: rec.host, Pid: rec.pid,
+			KernelVariant: rec.variant, Registered: rec.registered,
+			IdleMs: now.Sub(rec.lastSeen).Milliseconds(),
+			Stale:  c.workerStaleLocked(name, now),
+			Leases: rec.leases, Pushes: rec.pushes,
+		})
+	}
+	return snap
 }
 
 // Drain puts the coordinator into shutdown: new lease requests are
@@ -366,6 +483,7 @@ func (c *Coordinator) lease(worker string) LeaseResponse {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	now := c.cfg.Clock()
+	c.touchWorkerLocked(worker)
 	c.reapLocked(now)
 	if c.complete {
 		return LeaseResponse{Status: StatusDone}
@@ -383,6 +501,7 @@ func (c *Coordinator) lease(worker string) LeaseResponse {
 	it := c.pending[0]
 	c.pending = c.pending[1:]
 	it.state = stateLeased
+	c.workers[worker].leases++
 	c.seq++
 	id := fmt.Sprintf("l-%d", c.seq)
 	c.leases[id] = &leaseRec{id: id, item: it, worker: worker, deadline: now.Add(c.cfg.LeaseTTL)}
@@ -401,19 +520,27 @@ func (c *Coordinator) lease(worker string) LeaseResponse {
 func (c *Coordinator) push(req PushRequest) (PushResponse, int, string) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.touchWorkerLocked(req.Worker).pushes++
 	it, ok := c.items[req.Fingerprint]
 	if !ok {
 		return PushResponse{}, http.StatusNotFound, fmt.Sprintf("push rejected for cell %s", req.Fingerprint)
 	}
-	// The lease, if still tracked, is finished either way.
-	if l, ok := c.leases[req.LeaseID]; ok && l.item == it {
-		delete(c.leases, req.LeaseID)
+	// The lease is finished on every settling outcome (accepted work,
+	// recorded failure, permanent conflict) — but deliberately NOT on a
+	// transient store failure, where the worker will retry the push: if
+	// it dies instead, the still-tracked lease expires and requeues the
+	// cell rather than stranding it leased forever.
+	finishLease := func() {
+		if l, ok := c.leases[req.LeaseID]; ok && l.item == it {
+			delete(c.leases, req.LeaseID)
+		}
 	}
 	defer func() {
 		c.bumpLocked()
 		c.checkCompleteLocked()
 	}()
 	if req.Err != "" {
+		finishLease()
 		if it.state != stateDone {
 			it.state = stateFailed
 			it.failMsg = req.Err
@@ -427,18 +554,28 @@ func (c *Coordinator) push(req PushRequest) (PushResponse, int, string) {
 	if req.Computed && req.KernelVariant != "" {
 		if spec, ok := c.specs[it.grid]; ok {
 			if err := stampVariant(c.cfg.Store, spec, req.KernelVariant); err != nil {
+				finishLease()
 				return PushResponse{}, http.StatusConflict, err.Error()
 			}
 		}
 	}
 	status, err := c.cfg.Store.IngestCell(req.Fingerprint, req.Payload)
-	if err != nil {
-		// Two differing valid payloads for one fingerprint: the exact
-		// Store.Merge conflict, surfaced as 409 so the worker fails
-		// loudly instead of the coordinator picking a side.
-		return PushResponse{}, http.StatusConflict,
-			fmt.Sprintf("merge conflict on cell %s: incoming and stored payloads are both valid but differ (fingerprint collision or nondeterministic cell)", req.Fingerprint)
+	if resultstore.IsCellConflict(err) || resultstore.IsBadPayload(err) {
+		// Permanent rejections — a differing-valid-payload conflict
+		// (fingerprint collision or nondeterministic cell) or an invalid
+		// envelope — surface as 409 so the worker fails loudly instead of
+		// retrying bytes that can never land.
+		finishLease()
+		return PushResponse{}, http.StatusConflict, err.Error()
 	}
+	if err != nil {
+		// A store I/O failure (full disk, torn write, injected fault) is
+		// the coordinator's problem, not the payload's: answer 500 so the
+		// worker retries the identical push once the store recovers.
+		return PushResponse{}, http.StatusInternalServerError,
+			fmt.Sprintf("store ingest failed for cell %s: %v", req.Fingerprint, err)
+	}
+	finishLease()
 	if it.state != stateDone {
 		it.state = stateDone
 	}
@@ -490,6 +627,9 @@ func writeJSON(w http.ResponseWriter, code int, v interface{}) {
 }
 
 func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
+	if inject(w, "lease") {
+		return
+	}
 	if r.Method != http.MethodPost {
 		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{"POST only"})
 		return
@@ -503,6 +643,9 @@ func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 }
 
 func (c *Coordinator) handlePush(w http.ResponseWriter, r *http.Request) {
+	if inject(w, "push") {
+		return
+	}
 	if r.Method != http.MethodPost {
 		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{"POST only"})
 		return
@@ -520,10 +663,67 @@ func (c *Coordinator) handlePush(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// handleWorkers registers heartbeating workers (POST) and serves the
+// fleet view (GET).
+func (c *Coordinator) handleWorkers(w http.ResponseWriter, r *http.Request) {
+	if inject(w, "workers") {
+		return
+	}
+	switch r.Method {
+	case http.MethodPost:
+		var h WorkerHello
+		if err := json.NewDecoder(r.Body).Decode(&h); err != nil {
+			writeJSON(w, http.StatusBadRequest, errorResponse{"bad hello: " + err.Error()})
+			return
+		}
+		if h.Worker == "" {
+			writeJSON(w, http.StatusBadRequest, errorResponse{"hello without a worker name"})
+			return
+		}
+		writeJSON(w, http.StatusOK, c.hello(h))
+	case http.MethodGet:
+		writeJSON(w, http.StatusOK, c.Workers())
+	default:
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{"GET or POST only"})
+	}
+}
+
+// cellFpPattern is the shape of a cell fingerprint in /v1/cell/<fp>.
+var cellFpPattern = regexp.MustCompile(`^[0-9a-f]{32}$`)
+
+// handleCell serves raw stored cell envelopes by fingerprint, so a
+// worker with a cold local store can warm its memo from the
+// coordinator instead of needing a shared filesystem. 404 means the
+// coordinator's store does not hold a valid entry for that cell (yet).
+func (c *Coordinator) handleCell(w http.ResponseWriter, r *http.Request) {
+	if inject(w, "cell") {
+		return
+	}
+	if r.Method != http.MethodGet {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{"GET only"})
+		return
+	}
+	fp := strings.TrimPrefix(r.URL.Path, "/v1/cell/")
+	if !cellFpPattern.MatchString(fp) {
+		writeJSON(w, http.StatusBadRequest, errorResponse{"bad cell fingerprint"})
+		return
+	}
+	b, ok := c.cfg.Store.CellBytesByFingerprint(fp)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorResponse{"cell not in store"})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(b)
+}
+
 // handleProgress long-polls: with ?gen=N it blocks until the state
 // generation exceeds N (or timeout_ms elapses), so a watcher gets an
 // update per state change instead of hammering the endpoint.
 func (c *Coordinator) handleProgress(w http.ResponseWriter, r *http.Request) {
+	if inject(w, "progress") {
+		return
+	}
 	if r.Method != http.MethodGet {
 		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{"GET only"})
 		return

@@ -13,6 +13,7 @@ import (
 	"sync"
 
 	"fp8quant/internal/evalx"
+	"fp8quant/internal/faultline"
 	"fp8quant/internal/resultstore"
 )
 
@@ -106,9 +107,19 @@ func cachedCellFresh(k resultstore.CellKey, compute func() evalx.Result) (evalx.
 		cacheMu.Unlock()
 		return r, false
 	}
+	// A compute-side failpoint for chaos runs: delay and crash rules act
+	// inside Hit; an injected *error* here is deliberately discarded,
+	// because cell results must stay a pure function of the key — faults
+	// may slow, kill or un-persist a cell, never change its value (and
+	// the coordinator treats reported cell failures as permanent).
+	_ = faultline.Hit("harness.cell.compute")
 	r = compute()
 	if r.Err == "" {
-		if err := s.SaveCell(k, r); err != nil {
+		err := faultline.Hit("harness.cell.persist")
+		if err == nil {
+			err = s.SaveCell(k, r)
+		}
+		if err != nil {
 			// A failed persist (full/unwritable cache dir) must not go
 			// unnoticed: without it every invocation repays the sweep.
 			fmt.Fprintf(os.Stderr, "warning: result store write failed: %v\n", err)

@@ -12,12 +12,35 @@ package resultstore
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
+
+	"fp8quant/internal/faultline"
 )
+
+// ErrCellConflict marks the unresolvable merge case: the same
+// fingerprint holding two different valid payloads (a hash collision
+// or a nondeterministic cell). Callers branch on it with errors.Is —
+// the coordinator answers it with 409 Conflict (permanent) while every
+// other ingest failure is a retryable 500.
+var ErrCellConflict = errors.New("resultstore: cell conflict")
+
+// IsCellConflict reports whether err is a cell-conflict error.
+func IsCellConflict(err error) bool { return errors.Is(err, ErrCellConflict) }
+
+// ErrBadPayload marks an ingest payload that is not a valid
+// current-schema envelope for its claimed fingerprint. Like a
+// conflict, it is permanent — re-sending identical bytes cannot
+// succeed — unlike the transient I/O failures IngestCell can also
+// return.
+var ErrBadPayload = errors.New("resultstore: invalid cell payload")
+
+// IsBadPayload reports whether err is a bad-payload error.
+func IsBadPayload(err error) bool { return errors.Is(err, ErrBadPayload) }
 
 // MergeStats summarizes one Store.Merge call. Merge traffic is kept
 // out of the hit/miss/write Stats counters: those answer "how many
@@ -100,6 +123,9 @@ func (s *Store) Merge(src *Store) (MergeStats, error) {
 // mergeCell merges one "c-<fp>.json" source cell; reports false when
 // the source entry was invalid and skipped.
 func (s *Store) mergeCell(name string, srcBytes []byte, st *MergeStats) (bool, error) {
+	if err := faultline.Hit("resultstore.merge.cell"); err != nil {
+		return false, fmt.Errorf("resultstore: merge %s: %w", name, err)
+	}
 	fp, _ := cellFingerprint(name)
 	if !validCellBytes(srcBytes, fp) {
 		return false, nil
@@ -141,8 +167,11 @@ func (s *Store) IngestCell(fp string, payload []byte) (IngestStatus, error) {
 	if s == nil {
 		return 0, fmt.Errorf("resultstore: IngestCell on a nil store")
 	}
+	if err := faultline.Hit("resultstore.ingest.begin"); err != nil {
+		return 0, fmt.Errorf("resultstore: ingest cell %s: %w", fp, err)
+	}
 	if !validCellBytes(payload, fp) {
-		return 0, fmt.Errorf("resultstore: ingest payload for cell %s is not a valid current-schema envelope for that fingerprint", fp)
+		return 0, fmt.Errorf("%w: payload for cell %s is not a valid current-schema envelope for that fingerprint", ErrBadPayload, fp)
 	}
 	dstPath := filepath.Join(s.dir, "c-"+fp+".json")
 	dstBytes, err := os.ReadFile(dstPath)
@@ -171,7 +200,7 @@ func (s *Store) IngestCell(fp string, payload []byte) (IngestStatus, error) {
 		return IngestStored, nil
 	default:
 		return 0, fmt.Errorf(
-			"resultstore: merge conflict on cell %s: incoming and stored payloads are both valid but differ (fingerprint collision or nondeterministic cell)", fp)
+			"%w on cell %s: incoming and stored payloads are both valid but differ (fingerprint collision or nondeterministic cell)", ErrCellConflict, fp)
 	}
 }
 

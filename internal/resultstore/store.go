@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"fp8quant/internal/evalx"
+	"fp8quant/internal/faultline"
 )
 
 // SchemaVersion identifies the evaluation-code generation a stored cell
@@ -172,6 +173,11 @@ type cellEnvelope struct {
 // any miss: absent file, unreadable JSON, schema or key mismatch.
 func (s *Store) LoadCell(k CellKey) (evalx.Result, bool) {
 	if s == nil {
+		return evalx.Result{}, false
+	}
+	if err := faultline.Hit("resultstore.load.read"); err != nil {
+		// An injected read fault behaves exactly like a real one: a miss.
+		s.misses.Add(1)
 		return evalx.Result{}, false
 	}
 	b, err := os.ReadFile(s.CellPath(k))
@@ -416,19 +422,38 @@ func hasCurrentSchema(path string) (bool, error) {
 }
 
 // writeAtomic writes b to path via a temp file + rename, so concurrent
-// readers only ever see complete entries.
+// readers only ever see complete entries. Three faultline points cover
+// the write's crash windows — "resultstore.<class>.create" (before the
+// temp file exists), ".temp" (a WriteBytes point, so torn/corrupt rules
+// can truncate the payload), and ".rename" (after a complete temp
+// write, before it becomes visible) — where <class> is save, manifest
+// or sidecar by the destination file's name. Injected temp/rename
+// faults deliberately leave the temp file behind, because that is what
+// the crash they simulate would do; real write errors still clean up.
 func (s *Store) writeAtomic(path string, b []byte) error {
+	point := "resultstore." + writeClass(path)
+	if err := faultline.Hit(point + ".create"); err != nil {
+		return fmt.Errorf("resultstore: %w", err)
+	}
 	tmp, err := os.CreateTemp(s.dir, ".cell-*.tmp")
 	if err != nil {
 		return fmt.Errorf("resultstore: %w", err)
 	}
-	if _, err := tmp.Write(b); err != nil {
+	wb, injerr := faultline.WriteBytes(point+".temp", b)
+	if _, err := tmp.Write(wb); err != nil {
 		tmp.Close()
 		os.Remove(tmp.Name())
 		return fmt.Errorf("resultstore: %w", err)
 	}
+	if injerr != nil {
+		tmp.Close()
+		return fmt.Errorf("resultstore: %w", injerr)
+	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmp.Name())
+		return fmt.Errorf("resultstore: %w", err)
+	}
+	if err := faultline.Hit(point + ".rename"); err != nil {
 		return fmt.Errorf("resultstore: %w", err)
 	}
 	if err := os.Rename(tmp.Name(), path); err != nil {
@@ -436,6 +461,19 @@ func (s *Store) writeAtomic(path string, b []byte) error {
 		return fmt.Errorf("resultstore: %w", err)
 	}
 	return nil
+}
+
+// writeClass names the kind of store file a path holds, for failpoint
+// naming: "save" (cells), "manifest", or "sidecar" (everything else).
+func writeClass(path string) string {
+	switch name := filepath.Base(path); {
+	case strings.HasPrefix(name, "c-"):
+		return "save"
+	case strings.HasPrefix(name, "m-"):
+		return "manifest"
+	default:
+		return "sidecar"
+	}
 }
 
 // keysEqual compares keys by canonical encoding (guards fingerprint
